@@ -1,0 +1,57 @@
+// Command datagen emits benchmark datasets in the whitespace-separated
+// text format the skycubed tool and the library read: one point per line,
+// smaller values better.
+//
+// Usage:
+//
+//	datagen -dist I -n 100000 -d 8 -seed 42 > data.txt
+//	datagen -real WE -scale 0.1 > weather.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"skycube"
+)
+
+func main() {
+	dist := flag.String("dist", "I", "synthetic distribution: I (independent), C (correlated), A (anticorrelated)")
+	n := flag.Int("n", 100000, "number of points (synthetic)")
+	d := flag.Int("d", 8, "dimensionality (synthetic)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	real := flag.String("real", "", "real-data stand-in instead: NBA, HH, CT, or WE")
+	scale := flag.Float64("scale", 1, "row-count scale for -real, in (0,1]")
+	flag.Parse()
+
+	var ds *skycube.Dataset
+	if *real != "" {
+		w, ok := map[string]skycube.RealWorkload{
+			"NBA": skycube.NBA, "HH": skycube.Household,
+			"CT": skycube.Covertype, "WE": skycube.Weather,
+		}[*real]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "datagen: unknown real dataset %q (NBA, HH, CT, WE)\n", *real)
+			os.Exit(2)
+		}
+		ds = skycube.GenerateReal(w, *scale, *seed)
+	} else {
+		dd, ok := map[string]skycube.Distribution{
+			"I": skycube.Independent, "C": skycube.Correlated, "A": skycube.Anticorrelated,
+		}[*dist]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "datagen: unknown distribution %q (I, C, A)\n", *dist)
+			os.Exit(2)
+		}
+		if *n <= 0 || *d <= 0 || *d > skycube.MaxDims {
+			fmt.Fprintf(os.Stderr, "datagen: invalid size %d×%d\n", *n, *d)
+			os.Exit(2)
+		}
+		ds = skycube.GenerateSynthetic(dd, *n, *d, *seed)
+	}
+	if err := ds.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,136 @@
+// Command skycubed builds the skycube of a dataset file and answers
+// subspace skyline queries against it.
+//
+// Usage:
+//
+//	skycubed -algo MDMC -threads 8 [-gpus 1] [-cpu-also] [-max-level 4] \
+//	         [-query 0,2 -query 1] data.txt
+//	skycubed -serve :8080 data.txt
+//
+// With no -query flags it prints summary statistics; each -query flag names
+// a subspace as a comma-separated dimension list and prints its skyline.
+// With -serve, the built skycube is exposed over HTTP (GET /info,
+// /skyline?dims=0,2, /membership?id=17).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"skycube"
+	"skycube/internal/server"
+)
+
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, ";") }
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+func main() {
+	algoName := flag.String("algo", "MDMC", "algorithm: MDMC, STSC, SDSC, PQSkycube, QSkycube")
+	threads := flag.Int("threads", runtime.NumCPU(), "CPU worker threads")
+	gpus := flag.Int("gpus", 0, "number of modelled GTX 980 devices to use (SDSC/MDMC)")
+	cpuAlso := flag.Bool("cpu-also", false, "use the CPU alongside the GPUs (cross-device)")
+	maxLevel := flag.Int("max-level", 0, "materialise only subspaces with ≤ this many dimensions (0 = all)")
+	var queries queryList
+	flag.Var(&queries, "query", "subspace to print, as comma-separated dimension indices (repeatable)")
+	serve := flag.String("serve", "", "address to serve the skycube over HTTP (e.g. :8080)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: skycubed [flags] data.txt")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	algo, ok := map[string]skycube.Algorithm{
+		"MDMC": skycube.MDMC, "STSC": skycube.STSC, "SDSC": skycube.SDSC,
+		"PQSkycube": skycube.PQSkycube, "QSkycube": skycube.QSkycube,
+	}[*algoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "skycubed: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	}
+	ds, err := skycube.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	}
+
+	opt := skycube.Options{
+		Algorithm: algo,
+		Threads:   *threads,
+		MaxLevel:  *maxLevel,
+		CPUAlso:   *cpuAlso,
+	}
+	for i := 0; i < *gpus; i++ {
+		opt.GPUs = append(opt.GPUs, skycube.GTX980)
+	}
+	cube, stats, err := skycube.Build(ds, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("built %s skycube of %d×%d in %v (%d stored ids",
+		algo, ds.Len(), ds.Dims(), stats.Elapsed.Round(stats.Elapsed/1000+1), cube.IDCount())
+	if cube.MaxLevel() < ds.Dims() {
+		fmt.Printf(", partial to level %d", cube.MaxLevel())
+	}
+	fmt.Println(")")
+	for _, sh := range stats.Shares {
+		fmt.Printf("  %-8s %8d tasks (%.1f%%)\n", sh.Name, sh.Tasks, sh.Fraction*100)
+	}
+
+	if *serve != "" {
+		fmt.Printf("serving on %s (GET /info, /skyline?dims=0,2, /membership?id=17)\n", *serve)
+		if err := http.ListenAndServe(*serve, server.New(cube, ds)); err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(queries) == 0 {
+		full := skycube.FullSpace(ds.Dims())
+		fmt.Printf("full-space skyline: %d points\n", len(cube.Skyline(full)))
+		return
+	}
+	for _, q := range queries {
+		delta, err := parseSubspace(q, ds.Dims())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(2)
+		}
+		ids := cube.Skyline(delta)
+		fmt.Printf("skyline of dims {%s} (δ=%d): %d points: %v\n", q, delta, len(ids), ids)
+	}
+}
+
+func parseSubspace(spec string, d int) (skycube.Subspace, error) {
+	var delta skycube.Subspace
+	for _, part := range strings.Split(spec, ",") {
+		dim, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || dim < 0 || dim >= d {
+			return 0, fmt.Errorf("bad dimension %q in subspace %q (need 0..%d)", part, spec, d-1)
+		}
+		delta |= skycube.SubspaceOf(dim)
+	}
+	if delta == 0 {
+		return 0, fmt.Errorf("empty subspace %q", spec)
+	}
+	return delta, nil
+}

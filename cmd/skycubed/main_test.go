@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestParseSubspace(t *testing.T) {
+	cases := []struct {
+		spec string
+		d    int
+		want uint32
+		ok   bool
+	}{
+		{"0", 3, 0b001, true},
+		{"0,2", 3, 0b101, true},
+		{" 1 , 2 ", 3, 0b110, true},
+		{"2,2", 3, 0b100, true}, // duplicates collapse
+		{"3", 3, 0, false},      // out of range
+		{"-1", 3, 0, false},
+		{"a", 3, 0, false},
+		{"", 3, 0, false},
+		{"0,,1", 3, 0, false},
+	}
+	for _, c := range cases {
+		got, err := parseSubspace(c.spec, c.d)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("parseSubspace(%q, %d) = %b, %v; want %b", c.spec, c.d, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("parseSubspace(%q, %d) should fail", c.spec, c.d)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Products demonstrates the realistic ingestion path: raw CSV with mixed
+// attribute orientations (price and weight low-is-better, battery life and
+// rating high-is-better), normalised into skyline orientation, then a
+// skycube answering shopping-style trade-off queries.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"skycube"
+)
+
+const catalogue = `name,price,battery_h,weight_g,rating
+AeroBook 13,999,14,1190,4.6
+AeroBook 13 (2023),899,12,1210,4.4
+TabletPro,649,10,460,4.2
+TabletPro Max,899,11,470,4.5
+UltraSlim,1299,18,980,4.7
+BudgetNote,399,7,1650,3.8
+BudgetNote Plus,479,9,1580,4.0
+Workstation X,2199,6,2450,4.4
+Gamer GX,1799,5,2300,4.3
+FieldPad,549,22,610,3.9
+`
+
+var dimNames = []string{"price", "battery", "weight", "rating"}
+
+func main() {
+	// Column 0 is the product name; the four numeric columns become
+	// dimensions.
+	ds, err := skycube.ReadCSVDataset(strings.NewReader(catalogue), skycube.CSVOptions{
+		Header:  true,
+		Columns: []int{1, 2, 3, 4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := parseNames(catalogue)
+
+	// Orient: price and weight are already lower-is-better; battery life
+	// and rating must be mirrored.
+	norm, err := ds.Normalize([]skycube.Direction{
+		skycube.LowerBetter,  // price
+		skycube.HigherBetter, // battery hours
+		skycube.LowerBetter,  // weight
+		skycube.HigherBetter, // rating
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cube, _, err := skycube.Build(norm, skycube.Options{Algorithm: skycube.MDMC, Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, delta skycube.Subspace) {
+		ids := cube.Skyline(delta)
+		fmt.Printf("%s:\n", label)
+		for _, id := range ids {
+			fmt.Printf("  %-22s $%-6.0f %4.0fh %6.0fg  %.1f★\n", names[id],
+				ds.Point(int(id))[0], ds.Point(int(id))[1], ds.Point(int(id))[2], ds.Point(int(id))[3])
+		}
+	}
+
+	show("Overall undominated products (all four criteria)", skycube.FullSpace(4))
+	show("\nTravellers: battery × weight", skycube.SubspaceOf(1, 2))
+	show("\nBudget buyers: price × rating", skycube.SubspaceOf(0, 3))
+
+	// The inverse question: in which criteria combinations is a given
+	// product a defensible choice?
+	fmt.Println("\nWhere each product is in the skyline:")
+	for id := int32(0); id < int32(ds.Len()); id++ {
+		subspaces := cube.Membership(id)
+		best := ""
+		if len(subspaces) > 0 {
+			parts := make([]string, 0, 3)
+			for _, delta := range subspaces[:min(3, len(subspaces))] {
+				var dims []string
+				for _, d := range skycube.SubspaceDims(delta) {
+					dims = append(dims, dimNames[d])
+				}
+				parts = append(parts, "{"+strings.Join(dims, ",")+"}")
+			}
+			best = strings.Join(parts, " ")
+			if len(subspaces) > 3 {
+				best += fmt.Sprintf(" … (%d total)", len(subspaces))
+			}
+		} else {
+			best = "never — always dominated"
+		}
+		fmt.Printf("  %-22s %s\n", names[id], best)
+	}
+}
+
+func parseNames(csv string) []string {
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	names := make([]string, 0, len(lines)-1)
+	for _, l := range lines[1:] {
+		names = append(names, strings.SplitN(l, ",", 2)[0])
+	}
+	return names
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

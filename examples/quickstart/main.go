@@ -1,0 +1,56 @@
+// Quickstart: generate a benchmark dataset, build its skycube with the
+// MDMC template, and query a few subspace skylines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"skycube"
+)
+
+func main() {
+	// 20 000 points over 6 dimensions, independently distributed. Smaller
+	// values are better on every dimension.
+	ds := skycube.GenerateSynthetic(skycube.Independent, 20000, 6, 42)
+
+	cube, stats, err := skycube.Build(ds, skycube.Options{
+		Algorithm: skycube.MDMC, // the paper's fastest template
+		Threads:   runtime.NumCPU(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built the skycube of %d×%d in %v\n", ds.Len(), ds.Dims(), stats.Elapsed)
+	fmt.Printf("materialised %d subspace skylines using %d stored ids\n",
+		len(skycube.AllSubspaces(ds.Dims())), cube.IDCount())
+
+	// The full-space skyline: points with some appealing trade-off over all
+	// six criteria.
+	full := skycube.FullSpace(ds.Dims())
+	fmt.Printf("full-space skyline: %d points\n", len(cube.Skyline(full)))
+
+	// A user interested only in dimensions 1 and 4 sees a much more
+	// selective skyline.
+	sub := skycube.SubspaceOf(1, 4)
+	ids := cube.Skyline(sub)
+	fmt.Printf("skyline over dims {1,4}: %d points\n", len(ids))
+	for _, id := range ids[:min(5, len(ids))] {
+		fmt.Printf("  point %d: %v\n", id, ds.Point(int(id)))
+	}
+
+	// Every subspace is materialised, so arbitrary follow-up queries are
+	// free of further computation.
+	for _, delta := range []skycube.Subspace{0b000011, 0b101010, 0b111000} {
+		fmt.Printf("skyline of δ=%06b (%d dims): %d points\n",
+			delta, skycube.SubspaceSize(delta), len(cube.Skyline(delta)))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module skycube
+
+go 1.22

@@ -1,0 +1,113 @@
+// End-to-end integration tests exercising the full pipeline the CLI tools
+// use: generate → serialise → parse → build (every algorithm and device
+// mix) → query (per-subspace and per-point) → serve.
+package skycube_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"skycube"
+	"skycube/internal/server"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Generate and round-trip through the text format, as datagen |
+	// skycubed does.
+	orig := skycube.GenerateSynthetic(skycube.Anticorrelated, 800, 5, 99)
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := skycube.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != orig.Len() || ds.Dims() != orig.Dims() {
+		t.Fatalf("round trip: %dx%d", ds.Len(), ds.Dims())
+	}
+
+	// Build with every algorithm and a device mix; all must agree.
+	builds := map[string]skycube.Options{
+		"QSkycube":  {Algorithm: skycube.QSkycube, Threads: 1},
+		"PQSkycube": {Algorithm: skycube.PQSkycube, Threads: 4},
+		"STSC":      {Algorithm: skycube.STSC, Threads: 4},
+		"SDSC":      {Algorithm: skycube.SDSC, Threads: 4},
+		"MDMC":      {Algorithm: skycube.MDMC, Threads: 4},
+		"MDMC-All": {Algorithm: skycube.MDMC, Threads: 4, CPUAlso: true,
+			GPUs: []skycube.GPUModel{skycube.GTX980, skycube.GTXTitan}},
+	}
+	cubes := map[string]skycube.Skycube{}
+	for name, opt := range builds {
+		cube, _, err := skycube.Build(ds, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cubes[name] = cube
+	}
+	ref := cubes["QSkycube"]
+	for _, delta := range skycube.AllSubspaces(ds.Dims()) {
+		want := ref.Skyline(delta)
+		for name, cube := range cubes {
+			if got := cube.Skyline(delta); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s disagrees with QSkycube on δ=%b", name, delta)
+			}
+		}
+	}
+
+	// Membership agrees across representations for a sample of points.
+	for id := int32(0); id < 50; id++ {
+		a := cubes["STSC"].Membership(id)
+		b := cubes["MDMC"].Membership(id)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("membership of %d differs: lattice %v vs hashcube %v", id, a, b)
+		}
+	}
+
+	// Serve the cube and query it over HTTP, as skycubed -serve does.
+	srv := httptest.NewServer(server.New(cubes["MDMC"], ds))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/skyline?dims=0,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP skyline: status %d", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body.Bytes(), []byte(`"count"`)) {
+		t.Errorf("unexpected body: %s", body.String())
+	}
+}
+
+func TestEndToEndPartialPipeline(t *testing.T) {
+	ds := skycube.GenerateReal(skycube.Covertype, 0.002, 5)
+	cube, stats, err := skycube.Build(ds, skycube.Options{
+		Algorithm: skycube.MDMC, Threads: 4, MaxLevel: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+	full, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.STSC, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, delta := range skycube.AllSubspaces(ds.Dims()) {
+		if skycube.SubspaceSize(delta) > 3 {
+			continue
+		}
+		if !reflect.DeepEqual(cube.Skyline(delta), full.Skyline(delta)) {
+			t.Fatalf("partial cube wrong on δ=%b", delta)
+		}
+	}
+}

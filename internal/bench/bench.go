@@ -1,0 +1,165 @@
+// Package bench is the experiment harness: for every table and figure in
+// the paper's evaluation (§7 and Appendix A) it regenerates the
+// corresponding rows or series — workload generation, parameter sweep,
+// baselines, and printing — so EXPERIMENTS.md can record paper-versus-
+// measured shapes. cmd/experiments is the CLI front end; the root-level
+// bench_test.go exposes the same experiments as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"skycube"
+	"skycube/internal/data"
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+)
+
+// Scale is a preset of workload sizes. The paper's machine (2×10 cores,
+// 3 GPUs) solved its default workload (independent, n = 500 000, d = 12) in
+// seconds-to-minutes; this reproduction must also run on small hosts, so
+// sweeps come in three sizes. "paper" uses the publication's parameters.
+type Scale struct {
+	Name string
+	// NSweep is the cardinality sweep (at DForNSweep dimensions).
+	NSweep     []int
+	DForNSweep int
+	// DSweep is the dimensionality sweep (at NForDSweep points).
+	DSweep     []int
+	NForDSweep int
+	// DefaultN/DefaultD is the fixed workload for Figures 5 and 12.
+	DefaultN, DefaultD int
+	// HWN/HWD is the (smaller) workload for the profiled hardware runs.
+	HWN, HWD int
+	// Fig13N/Fig13D and Fig13Levels parameterise partial-skycube runs.
+	Fig13N, Fig13D int
+	Fig13Levels    []int
+	// RealScale scales the real-data stand-ins (1 = published size).
+	RealScale float64
+	// Real lists which real-data stand-ins Tables 2–3 cover. The tiny scale
+	// omits Covertype and Weather, whose dimensionalities (10 and 15) make
+	// lattice-based runs expensive regardless of cardinality.
+	Real []gen.RealDataset
+	// Threads is the CPU worker count used throughout.
+	Threads int
+	// HWThreads is the modelled core count of the hardware figures (the
+	// paper uses 10).
+	HWThreads int
+}
+
+// Scales returns the available presets.
+func Scales() map[string]Scale {
+	return map[string]Scale{
+		"tiny": {
+			Name:   "tiny",
+			NSweep: []int{500, 1000, 2000}, DForNSweep: 5,
+			DSweep: []int{3, 4, 5}, NForDSweep: 800,
+			DefaultN: 1000, DefaultD: 5,
+			HWN: 400, HWD: 6,
+			Fig13N: 500, Fig13D: 6, Fig13Levels: []int{2, 4, 6},
+			RealScale: 0.002,
+			Real:      []gen.RealDataset{gen.NBA, gen.Household},
+			Threads:   4, HWThreads: 4,
+		},
+		"small": {
+			Name:   "small",
+			NSweep: []int{5000, 10000, 20000}, DForNSweep: 8,
+			DSweep: []int{4, 6, 8, 10}, NForDSweep: 5000,
+			DefaultN: 20000, DefaultD: 8,
+			HWN: 2000, HWD: 8,
+			Fig13N: 1500, Fig13D: 10, Fig13Levels: []int{2, 4, 6, 8, 10},
+			RealScale: 0.002,
+			Real:      []gen.RealDataset{gen.NBA, gen.Household, gen.Covertype, gen.Weather},
+			Threads:   8, HWThreads: 10,
+		},
+		"paper": {
+			Name:   "paper",
+			NSweep: []int{100000, 250000, 500000, 750000, 1000000}, DForNSweep: 12,
+			DSweep: []int{4, 6, 8, 10, 12, 14, 16}, NForDSweep: 500000,
+			DefaultN: 500000, DefaultD: 12,
+			HWN: 20000, HWD: 12,
+			Fig13N: 500000, Fig13D: 16, Fig13Levels: []int{4, 6, 8, 10, 12, 14, 16},
+			RealScale: 1,
+			Real:      []gen.RealDataset{gen.NBA, gen.Household, gen.Covertype, gen.Weather},
+			Threads:   20, HWThreads: 10,
+		},
+	}
+}
+
+// ScaleByName resolves a preset name, defaulting to "small".
+func ScaleByName(name string) (Scale, error) {
+	if name == "" {
+		name = "small"
+	}
+	s, ok := Scales()[name]
+	if !ok {
+		return Scale{}, fmt.Errorf("bench: unknown scale %q (tiny, small, paper)", name)
+	}
+	return s, nil
+}
+
+// distributions in the paper's figure order: anticorrelated, independent,
+// correlated (top to bottom).
+var distributions = []gen.Distribution{gen.Anticorrelated, gen.Independent, gen.Correlated}
+
+// dataset builds the synthetic workload with a fixed seed so runs are
+// reproducible. Both representations are returned: the public one for
+// skycube.Build and the internal one for the profiled/hardware runs.
+func dataset(dist gen.Distribution, n, d int) (*skycube.Dataset, *data.Dataset) {
+	internal := gen.Synthetic(dist, n, d, 20170514)
+	return pub(internal), internal
+}
+
+// pub wraps an internal dataset in the public API type without copying.
+func pub(ds *data.Dataset) *skycube.Dataset {
+	out, err := skycube.NewDataset(ds.Dims, ds.Vals)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// timeBuild runs one Build and returns its wall-clock time and stats.
+func timeBuild(ds *skycube.Dataset, opt skycube.Options) (time.Duration, skycube.Stats) {
+	cube, stats, err := skycube.Build(ds, opt)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	_ = cube
+	return stats.Elapsed, stats
+}
+
+// ms formats a duration as integral milliseconds, the paper's unit.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Milliseconds())
+}
+
+// header prints a table header row.
+func header(w io.Writer, cols ...string) {
+	for i, c := range cols {
+		if i == 0 {
+			fmt.Fprintf(w, "%-14s", c)
+			continue
+		}
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// row prints one table row.
+func row(w io.Writer, label string, cells ...string) {
+	fmt.Fprintf(w, "%-14s", label)
+	for _, c := range cells {
+		fmt.Fprintf(w, "%12s", c)
+	}
+	fmt.Fprintln(w)
+}
+
+// extendedSize computes |S⁺(P)| of the full space, used by Table 2.
+func extendedSize(ds *data.Dataset) int {
+	full := mask.Full(ds.Dims)
+	return len(skyline.ExtendedSkyline(ds, nil, full, skyline.AlgoHybrid, 4))
+}

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tiny(t *testing.T) Scale {
+	t.Helper()
+	s, err := ScaleByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScaleByName(t *testing.T) {
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Error("unknown scale should error")
+	}
+	s, err := ScaleByName("")
+	if err != nil || s.Name != "small" {
+		t.Errorf("default scale = %q, err %v", s.Name, err)
+	}
+	for _, name := range []string{"tiny", "small", "paper"} {
+		s, err := ScaleByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("scale %q: %v", name, err)
+		}
+		if len(s.NSweep) == 0 || len(s.DSweep) == 0 || s.Threads < 1 {
+			t.Errorf("scale %q incomplete: %+v", name, s)
+		}
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig4(&buf, s)
+	for _, want := range []string{"Figure 4", "QSkycube", "cardinality", "dimensionality"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig6(&buf, s)
+	for _, want := range []string{"Figure 6", "A:", "I:", "C:", "MD"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Fig6 output missing %q", want)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig7(&buf, s)
+	for _, want := range []string{"Figure 7", "SD-GPU", "MD-All"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestFig12Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig12(&buf, s)
+	o := buf.String()
+	for _, want := range []string{"Figure 12", "CPU0", "980-1", "Titan", "%"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("Fig12 output missing %q", want)
+		}
+	}
+}
+
+func TestFig13Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig13(&buf, s)
+	for _, want := range []string{"Figure 13", "d'", "MD-All"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Fig13 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Fig5(&buf, s)
+	o := buf.String()
+	for _, want := range []string{"Figure 5", "one socket", "two sockets", "HT"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("Fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestFigHardwareOutput(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	FigHardware(&buf, s)
+	o := buf.String()
+	for _, want := range []string{"Figure 8a", "Figure 8b", "Figure 9a", "Figure 10a", "Figure 11"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("hardware output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Table2(&buf, s)
+	o := buf.String()
+	// The tiny scale covers only the low-dimensional stand-ins.
+	for _, want := range []string{"Table 2", "NBA", "HH"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("Table2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Table3(&buf, s)
+	o := buf.String()
+	for _, want := range []string{"Table 3", "QSkycube", "MDMC-All"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("Table3 output missing %q", want)
+		}
+	}
+}
+
+func TestAblationsOutput(t *testing.T) {
+	s := tiny(t)
+	var buf bytes.Buffer
+	Ablations(&buf, s)
+	o := buf.String()
+	for _, want := range []string{"Ablations", "depth-2", "no-filter", "first-parent", "full-input"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("Ablations output missing %q", want)
+		}
+	}
+}

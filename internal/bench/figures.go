@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skycube"
+	"skycube/internal/gen"
+)
+
+// Fig4 reproduces Figure 4: single-threaded QSkycube versus our
+// PQSkycube parallelisation run with one thread, over the cardinality
+// sweep (left plot) and dimensionality sweep (right plot) on independent
+// data. The point being made is that the parallelisation introduces no
+// single-thread overhead.
+func Fig4(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 4: QSkycube vs PQSkycube, single-threaded (I) [%s scale] ==\n", s.Name)
+	fmt.Fprintln(w, "-- time (ms) vs cardinality, d =", s.DForNSweep, "--")
+	header(w, "n", "PQ", "QSkycube")
+	for _, n := range s.NSweep {
+		ds, _ := dataset(gen.Independent, n, s.DForNSweep)
+		tPQ, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.PQSkycube, Threads: 1})
+		tQ, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.QSkycube, Threads: 1})
+		row(w, fmt.Sprint(n), ms(tPQ), ms(tQ))
+	}
+	fmt.Fprintln(w, "-- time (ms) vs dimensionality, n =", s.NForDSweep, "--")
+	header(w, "d", "PQ", "QSkycube")
+	for _, d := range s.DSweep {
+		ds, _ := dataset(gen.Independent, s.NForDSweep, d)
+		tPQ, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.PQSkycube, Threads: 1})
+		tQ, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.QSkycube, Threads: 1})
+		row(w, fmt.Sprint(d), ms(tPQ), ms(tQ))
+	}
+}
+
+// cpuAlgos are the four CPU algorithms of Figures 5–6 in column order.
+var cpuAlgos = []skycube.Algorithm{
+	skycube.PQSkycube, skycube.STSC, skycube.SDSC, skycube.MDMC,
+}
+
+// Fig6 reproduces Figure 6: CPU execution times for PQ, ST, SD and MD over
+// cardinality and dimensionality, one block per distribution (A, I, C).
+func Fig6(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 6: CPU execution times (ms) [%s scale, %d threads] ==\n", s.Name, s.Threads)
+	for _, dist := range distributions {
+		fmt.Fprintf(w, "-- %v: vs cardinality (d = %d) --\n", dist, s.DForNSweep)
+		header(w, "n", "PQ", "ST", "SD", "MD")
+		for _, n := range s.NSweep {
+			ds, _ := dataset(dist, n, s.DForNSweep)
+			cells := make([]string, 0, 4)
+			for _, a := range cpuAlgos {
+				t, _ := timeBuild(ds, skycube.Options{Algorithm: a, Threads: s.Threads})
+				cells = append(cells, ms(t))
+			}
+			row(w, fmt.Sprint(n), cells...)
+		}
+		fmt.Fprintf(w, "-- %v: vs dimensionality (n = %d) --\n", dist, s.NForDSweep)
+		header(w, "d", "PQ", "ST", "SD", "MD")
+		for _, d := range s.DSweep {
+			ds, _ := dataset(dist, s.NForDSweep, d)
+			cells := make([]string, 0, 4)
+			for _, a := range cpuAlgos {
+				t, _ := timeBuild(ds, skycube.Options{Algorithm: a, Threads: s.Threads})
+				cells = append(cells, ms(t))
+			}
+			row(w, fmt.Sprint(d), cells...)
+		}
+	}
+}
+
+// Fig7 reproduces Figure 7: GPU and cross-device execution times for the
+// SDSC and MDMC specialisations. "-GPU" runs on one modelled GTX 980;
+// "-All" adds a second 980, a Titan, and the CPU. The GPU cost model's
+// seconds are printed alongside wall clock, since the wall clock of a
+// simulated device reflects the host, not the card.
+func Fig7(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 7: GPU and cross-device times (ms wall / ms modelled) [%s scale] ==\n", s.Name)
+	one := []skycube.GPUModel{skycube.GTX980}
+	all := []skycube.GPUModel{skycube.GTX980, skycube.GTX980, skycube.GTXTitan}
+	run := func(ds *skycube.Dataset, algo skycube.Algorithm, gpus []skycube.GPUModel, cpuAlso bool) string {
+		t, stats := timeBuild(ds, skycube.Options{
+			Algorithm: algo, Threads: s.Threads, GPUs: gpus, CPUAlso: cpuAlso,
+		})
+		model := 0.0
+		for _, m := range stats.GPUModelSeconds {
+			if m > model {
+				model = m
+			}
+		}
+		return fmt.Sprintf("%s/%.0f", ms(t), model*1000)
+	}
+	for _, dist := range distributions {
+		fmt.Fprintf(w, "-- %v: vs cardinality (d = %d) --\n", dist, s.DForNSweep)
+		header(w, "n", "SD-GPU", "MD-GPU", "SD-All", "MD-All")
+		for _, n := range s.NSweep {
+			ds, _ := dataset(dist, n, s.DForNSweep)
+			row(w, fmt.Sprint(n),
+				run(ds, skycube.SDSC, one, false),
+				run(ds, skycube.MDMC, one, false),
+				run(ds, skycube.SDSC, all, true),
+				run(ds, skycube.MDMC, all, true))
+		}
+		fmt.Fprintf(w, "-- %v: vs dimensionality (n = %d) --\n", dist, s.NForDSweep)
+		header(w, "d", "SD-GPU", "MD-GPU", "SD-All", "MD-All")
+		for _, d := range s.DSweep {
+			ds, _ := dataset(dist, s.NForDSweep, d)
+			row(w, fmt.Sprint(d),
+				run(ds, skycube.SDSC, one, false),
+				run(ds, skycube.MDMC, one, false),
+				run(ds, skycube.SDSC, all, true),
+				run(ds, skycube.MDMC, all, true))
+		}
+	}
+}
+
+// Fig12 reproduces Figure 12: the fraction of parallel tasks executed by
+// each device in a cross-device run (SD counts cuboids; MD counts points)
+// on the default workload.
+func Fig12(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 12: work share per device (default workload, I %d×%d) [%s scale] ==\n",
+		s.DefaultN, s.DefaultD, s.Name)
+	ds, _ := dataset(gen.Independent, s.DefaultN, s.DefaultD)
+	all := []skycube.GPUModel{skycube.GTX980, skycube.GTX980, skycube.GTXTitan}
+	for _, algo := range []skycube.Algorithm{skycube.SDSC, skycube.MDMC} {
+		_, stats := timeBuild(ds, skycube.Options{
+			Algorithm: algo, Threads: s.Threads, GPUs: all, CPUAlso: true,
+		})
+		fmt.Fprintf(w, "-- %v --\n", algo)
+		header(w, "device", "tasks", "share")
+		for _, sh := range stats.Shares {
+			row(w, sh.Name, fmt.Sprint(sh.Tasks), fmt.Sprintf("%.1f%%", sh.Fraction*100))
+		}
+	}
+}
+
+// Fig13 reproduces Figure 13 (App. A.2): partial skycube construction time
+// as the number of materialised lattice levels d′ grows, per distribution,
+// for the CPU algorithms and the GPU/cross-device specialisations.
+func Fig13(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 13: partial skycubes, time (ms) vs levels d' (n = %d, d = %d) [%s scale] ==\n",
+		s.Fig13N, s.Fig13D, s.Name)
+	one := []skycube.GPUModel{skycube.GTX980}
+	all := []skycube.GPUModel{skycube.GTX980, skycube.GTX980, skycube.GTXTitan}
+	for _, dist := range distributions {
+		fmt.Fprintf(w, "-- %v --\n", dist)
+		header(w, "d'", "PQ", "ST", "SD", "MD", "SD-GPU", "MD-GPU", "SD-All", "MD-All")
+		ds, _ := dataset(dist, s.Fig13N, s.Fig13D)
+		for _, lvl := range s.Fig13Levels {
+			cells := make([]string, 0, 8)
+			for _, a := range cpuAlgos {
+				t, _ := timeBuild(ds, skycube.Options{Algorithm: a, Threads: s.Threads, MaxLevel: lvl})
+				cells = append(cells, ms(t))
+			}
+			tSDG, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.SDSC, GPUs: one, MaxLevel: lvl})
+			tMDG, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.MDMC, GPUs: one, MaxLevel: lvl, Threads: s.Threads})
+			tSDA, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.SDSC, GPUs: all, CPUAlso: true, Threads: s.Threads, MaxLevel: lvl})
+			tMDA, _ := timeBuild(ds, skycube.Options{Algorithm: skycube.MDMC, GPUs: all, CPUAlso: true, Threads: s.Threads, MaxLevel: lvl})
+			cells = append(cells, ms(tSDG), ms(tMDG), ms(tSDA), ms(tMDA))
+			row(w, fmt.Sprint(lvl), cells...)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skycube/internal/counters"
+	"skycube/internal/data"
+	"skycube/internal/gen"
+)
+
+// Fig5 reproduces Figure 5: parallel speedup as the thread count grows, on
+// one socket (left plot) and two (right plot), with a final hyper-threaded
+// point. Because this reproduction must run on arbitrary hosts (possibly a
+// single core), speedups are *modelled*: each configuration is executed in
+// the profiled build, and speedup is the ratio of modelled critical-path
+// cycles (max over threads) against the one-thread run. Contention effects
+// — shared L3 capacity, NUMA-remote lines, SMT-halved issue width — come
+// from the memory-hierarchy model driven by the algorithms' real access
+// streams.
+func Fig5(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figure 5: modelled speedup vs threads (I %d×%d) [%s scale] ==\n", s.HWN, s.HWD, s.Name)
+	ds := gen.Synthetic(gen.Independent, s.HWN, s.HWD, 20170514)
+
+	type cfgPoint struct {
+		label   string
+		threads int
+		sockets int
+		smt     bool
+	}
+	var oneSocket, twoSocket []cfgPoint
+	maxT := s.HWThreads
+	for t := 1; t <= maxT; t++ {
+		if t == 1 || t == maxT || t%2 == 0 {
+			oneSocket = append(oneSocket, cfgPoint{fmt.Sprint(t), t, 1, false})
+		}
+	}
+	oneSocket = append(oneSocket, cfgPoint{fmt.Sprintf("%dHT", 2*maxT), 2 * maxT, 1, true})
+	for t := 2; t <= 2*maxT; t += 2 {
+		if t == 2 || t == 2*maxT || t%4 == 0 {
+			twoSocket = append(twoSocket, cfgPoint{fmt.Sprint(t), t, 2, false})
+		}
+	}
+	twoSocket = append(twoSocket, cfgPoint{fmt.Sprintf("%dHT", 4*maxT), 4 * maxT, 2, true})
+
+	baselines := map[string]int64{}
+	for _, name := range []string{"PQ", "ST", "SD", "MD"} {
+		r := profileOne(name, ds, counters.Config{Threads: 1, Sockets: 1, HugePages: true})
+		baselines[name] = r.CriticalPathCycles
+	}
+	printBlock := func(title string, points []cfgPoint) {
+		fmt.Fprintf(w, "-- %s --\n", title)
+		header(w, "threads", "PQ", "ST", "SD", "MD")
+		for _, pt := range points {
+			cells := make([]string, 0, 4)
+			for _, name := range []string{"PQ", "ST", "SD", "MD"} {
+				r := profileOne(name, ds, counters.Config{
+					Threads: pt.threads, Sockets: pt.sockets, HugePages: true, SMT: pt.smt,
+				})
+				sp := float64(baselines[name]) / float64(r.CriticalPathCycles)
+				cells = append(cells, fmt.Sprintf("%.2f", sp))
+			}
+			row(w, pt.label, cells...)
+		}
+	}
+	printBlock("one socket", oneSocket)
+	printBlock("two sockets", twoSocket)
+}
+
+func profileOne(name string, ds *data.Dataset, cfg counters.Config) counters.Report {
+	switch name {
+	case "PQ":
+		r, _ := counters.ProfilePQ(ds, cfg)
+		return r
+	case "ST":
+		r, _ := counters.ProfileST(ds, cfg)
+		return r
+	case "SD":
+		r, _ := counters.ProfileSD(ds, cfg)
+		return r
+	case "MD":
+		r, _ := counters.ProfileMD(ds, cfg)
+		return r
+	}
+	panic("bench: unknown profiled algorithm " + name)
+}
+
+// HardwareReports runs the profiled builds of all four algorithms on the
+// hardware workload with HWThreads cores, once on one socket and once split
+// across two — the shared input of Figures 8–9 and 11. A third pair with
+// 4 KiB pages feeds Figure 10: at harness scale a transparent-huge-page
+// footprint fits entirely in the STLB for every algorithm, so the paper's
+// TLB contrast (which its 100 MB working sets expose even under THP) is
+// only observable with small pages here.
+func HardwareReports(s Scale) (one, two, tlb4k map[string]counters.Report) {
+	ds := gen.Synthetic(gen.Independent, s.HWN, s.HWD, 20170514)
+	one = map[string]counters.Report{}
+	two = map[string]counters.Report{}
+	tlb4k = map[string]counters.Report{}
+	for _, name := range []string{"PQ", "ST", "SD", "MD"} {
+		one[name] = profileOne(name, ds, counters.Config{Threads: s.HWThreads, Sockets: 1, HugePages: true})
+		two[name] = profileOne(name, ds, counters.Config{Threads: s.HWThreads, Sockets: 2, HugePages: true})
+		tlb4k[name] = profileOne(name, ds, counters.Config{Threads: s.HWThreads, Sockets: 1, HugePages: false})
+	}
+	return one, two, tlb4k
+}
+
+// FigHardware prints Figures 8–11 from one pair of profiled runs:
+//
+//	Fig 8  — L2 and L3 cache misses,
+//	Fig 9  — cycles stalled on pending L2/L3 loads,
+//	Fig 10 — STLB miss rate and page-walk cycle fraction,
+//	Fig 11 — cycles per instruction,
+//
+// each on one socket versus two (10 modelled cores, default workload).
+func FigHardware(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Figures 8-11: modelled hardware counters (I %d×%d, %d cores) [%s scale] ==\n",
+		s.HWN, s.HWD, s.HWThreads, s.Name)
+	one, two, tlb4k := HardwareReports(s)
+	names := []string{"PQ", "ST", "SD", "MD"}
+
+	fmt.Fprintln(w, "-- Figure 8a: L2 misses --")
+	header(w, "algo", "1 socket", "2 sockets")
+	for _, n := range names {
+		row(w, n, fmt.Sprint(one[n].Counters.L2Misses), fmt.Sprint(two[n].Counters.L2Misses))
+	}
+	fmt.Fprintln(w, "-- Figure 8b: L3 misses --")
+	header(w, "algo", "1 socket", "2 sockets")
+	for _, n := range names {
+		row(w, n, fmt.Sprint(one[n].Counters.L3Misses), fmt.Sprint(two[n].Counters.L3Misses))
+	}
+	fmt.Fprintln(w, "-- Figure 9a: stalled cycles, L2 load pending --")
+	header(w, "algo", "1 socket", "2 sockets")
+	for _, n := range names {
+		row(w, n, fmt.Sprint(one[n].Counters.StallL2Pending), fmt.Sprint(two[n].Counters.StallL2Pending))
+	}
+	fmt.Fprintln(w, "-- Figure 9b: stalled cycles, L3 load pending --")
+	header(w, "algo", "1 socket", "2 sockets")
+	for _, n := range names {
+		row(w, n, fmt.Sprint(one[n].Counters.StallL3Pending), fmt.Sprint(two[n].Counters.StallL3Pending))
+	}
+	fmt.Fprintln(w, "-- Figure 10a: % of loads missing the STLB (4 KiB pages; see doc) --")
+	header(w, "algo", "1 socket")
+	for _, n := range names {
+		row(w, n, fmt.Sprintf("%.4f%%", tlb4k[n].Counters.STLBMissRate()*100))
+	}
+	fmt.Fprintln(w, "-- Figure 10b: % of cycles in page walks (4 KiB pages) --")
+	header(w, "algo", "1 socket")
+	for _, n := range names {
+		row(w, n, fmt.Sprintf("%.3f%%", tlb4k[n].Counters.PageWalkFraction(tlb4k[n].MachCfg)*100))
+	}
+	fmt.Fprintln(w, "-- Figure 11: cycles per instruction --")
+	header(w, "algo", "1 socket", "2 sockets")
+	for _, n := range names {
+		row(w, n, fmt.Sprintf("%.3f", one[n].CPI()), fmt.Sprintf("%.3f", two[n].CPI()))
+	}
+}

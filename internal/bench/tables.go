@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"skycube"
+	"skycube/internal/data"
+	"skycube/internal/gen"
+	"skycube/internal/lattice"
+	"skycube/internal/mask"
+	"skycube/internal/qskycube"
+	"skycube/internal/templates"
+)
+
+// paperExtSizes records the published |S⁺| of each real dataset (Table 2).
+var paperExtSizes = map[gen.RealDataset]int{
+	gen.NBA:       1796,
+	gen.Household: 5774,
+	gen.Covertype: 432253,
+	gen.Weather:   78036,
+}
+
+// Table2 reproduces Table 2: the specifications of the real datasets —
+// here, of their synthetic stand-ins — including the measured extended
+// skyline size against the published one (scaled).
+func Table2(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Table 2: real dataset stand-ins (scale %.3g) ==\n", s.RealScale)
+	header(w, "ID", "n", "d", "|S+|", "paper |S+|", "paper n")
+	for _, rw := range s.Real {
+		ds := gen.Real(rw, s.RealScale, 20170514)
+		ext := extendedSize(ds)
+		paperN, _ := rw.Spec()
+		scaledPaperExt := int(float64(paperExtSizes[rw]) * s.RealScale)
+		row(w, rw.String(),
+			fmt.Sprint(ds.N), fmt.Sprint(ds.Dims),
+			fmt.Sprint(ext), fmt.Sprintf("~%d", scaledPaperExt), fmt.Sprint(paperN))
+	}
+}
+
+// Table3 reproduces Table 3: execution times (ms) on the real-data
+// stand-ins for every algorithm on the CPU, the GPU specialisations on one
+// modelled card, and the cross-device runs.
+func Table3(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Table 3: execution time (ms) on real-data stand-ins (scale %.3g) [%s scale] ==\n",
+		s.RealScale, s.Name)
+	labels := make([]string, len(s.Real))
+	datasets := make([]*skycube.Dataset, len(s.Real))
+	for i, rw := range s.Real {
+		labels[i] = rw.String()
+		datasets[i] = pub(gen.Real(rw, s.RealScale, 20170514))
+	}
+	header(w, append([]string{"algo"}, labels...)...)
+	one := []skycube.GPUModel{skycube.GTX980}
+	all := []skycube.GPUModel{skycube.GTX980, skycube.GTX980, skycube.GTXTitan}
+	configs := []struct {
+		label string
+		opt   skycube.Options
+	}{
+		{"QSkycube", skycube.Options{Algorithm: skycube.QSkycube, Threads: 1}},
+		{"PQSkycube", skycube.Options{Algorithm: skycube.PQSkycube, Threads: s.Threads}},
+		{"STSC", skycube.Options{Algorithm: skycube.STSC, Threads: s.Threads}},
+		{"SDSC", skycube.Options{Algorithm: skycube.SDSC, Threads: s.Threads}},
+		{"MDMC", skycube.Options{Algorithm: skycube.MDMC, Threads: s.Threads}},
+		{"SDSC-GPU", skycube.Options{Algorithm: skycube.SDSC, GPUs: one}},
+		{"MDMC-GPU", skycube.Options{Algorithm: skycube.MDMC, GPUs: one, Threads: s.Threads}},
+		{"SDSC-All", skycube.Options{Algorithm: skycube.SDSC, GPUs: all, CPUAlso: true, Threads: s.Threads}},
+		{"MDMC-All", skycube.Options{Algorithm: skycube.MDMC, GPUs: all, CPUAlso: true, Threads: s.Threads}},
+	}
+	for _, c := range configs {
+		cells := make([]string, 0, 4)
+		for _, ds := range datasets {
+			t, _ := timeBuild(ds, c.opt)
+			cells = append(cells, ms(t))
+		}
+		row(w, c.label, cells...)
+	}
+}
+
+// Ablations benchmarks the design decisions DESIGN.md calls out, on the
+// default workload:
+//
+//  1. tree depth 3 vs 2 in MDMC;
+//  2. MDMC's filter phase on vs off;
+//  3. MDMC's seen-mask memoisation on vs off;
+//  4. the extended skyline as reduced input vs recomputing every cuboid
+//     from the full dataset;
+//  5. min-cardinality parent selection vs first parent.
+func Ablations(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Ablations (I %d×%d, %d threads) [%s scale] ==\n",
+		s.DefaultN, s.DefaultD, s.Threads, s.Name)
+	_, internal := dataset(gen.Independent, s.DefaultN, s.DefaultD)
+
+	timeMDMC := func(opt templates.MDMCOptions) time.Duration {
+		opt.Threads = s.Threads
+		start := time.Now()
+		templates.MDMC(internal, opt)
+		return time.Since(start)
+	}
+	header(w, "variant", "ms")
+	row(w, "MDMC depth-3", ms(timeMDMC(templates.MDMCOptions{})))
+	row(w, "MDMC depth-2", ms(timeMDMC(templates.MDMCOptions{TreeDepth: 2})))
+	row(w, "MDMC no-filter", ms(timeMDMC(templates.MDMCOptions{DisableFilter: true})))
+	row(w, "MDMC no-memo", ms(timeMDMC(templates.MDMCOptions{DisableMemo: true})))
+
+	timeTraversal := func(opt lattice.TopDownOptions, fullInput bool) time.Duration {
+		hook := templates.HybridCuboid(1)
+		if fullInput {
+			inner := hook
+			all := make([]int32, internal.N)
+			for i := range all {
+				all[i] = int32(i)
+			}
+			hook = func(ds2 *data.Dataset, rows []int32, delta mask.Mask) ([]int32, []int32) {
+				return inner(ds2, all, delta)
+			}
+		}
+		opt.CuboidThreads = s.Threads
+		start := time.Now()
+		lattice.TopDown(internal, hook, opt)
+		return time.Since(start)
+	}
+	row(w, "ST min-parent", ms(timeTraversal(lattice.TopDownOptions{}, false)))
+	row(w, "ST first-parent", ms(timeTraversal(lattice.TopDownOptions{FirstParent: true}, false)))
+	row(w, "ST full-input", ms(timeTraversal(lattice.TopDownOptions{}, true)))
+
+	start := time.Now()
+	qskycube.Build(internal, qskycube.Options{Threads: s.Threads})
+	row(w, "PQ (reference)", ms(time.Since(start)))
+
+	// Hook pluggability (§4.2.2): SDSC with the paper's Hybrid hook versus
+	// the PSkyline baseline, and the GPU hooks SkyAlign-style versus GGS.
+	pds := pub(internal)
+	tHy, _ := timeBuild(pds, skycube.Options{Algorithm: skycube.SDSC, Threads: s.Threads})
+	row(w, "SDSC Hybrid", ms(tHy))
+	tPS, _ := timeBuild(pds, skycube.Options{Algorithm: skycube.SDSC, Threads: s.Threads, SDSCHook: skycube.HookPSkyline})
+	row(w, "SDSC PSkyline", ms(tPS))
+	one := []skycube.GPUModel{skycube.GTX980}
+	tSA, _ := timeBuild(pds, skycube.Options{Algorithm: skycube.SDSC, GPUs: one})
+	row(w, "SDSC-GPU SkyAlign", ms(tSA))
+	tGG, _ := timeBuild(pds, skycube.Options{Algorithm: skycube.SDSC, GPUs: one, SDSCHook: skycube.HookGGS})
+	row(w, "SDSC-GPU GGS", ms(tGG))
+}

@@ -1,0 +1,127 @@
+package counters
+
+import (
+	"reflect"
+	"testing"
+
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+)
+
+// The profiled builds must produce exactly the same skycubes as the
+// production implementations — instrumentation must never change results.
+func TestProfiledBuildsAreCorrect(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 400, 5, 3)
+	cfg := Config{Threads: 4, Sockets: 2, HugePages: true}
+
+	_, lpq := ProfilePQ(ds, cfg)
+	_, lst := ProfileST(ds, cfg)
+	_, lsd := ProfileSD(ds, cfg)
+	_, md := ProfileMD(ds, cfg)
+
+	for _, delta := range mask.Subspaces(5) {
+		want := skyline.Compute(ds, nil, delta, skyline.AlgoBNL, 1)
+		for name, got := range map[string][]int32{
+			"PQ": lpq.Skyline(delta),
+			"ST": lst.Skyline(delta),
+			"SD": lsd.Skyline(delta),
+			"MD": md.Cube.Skyline(delta),
+		} {
+			if !reflect.DeepEqual(got, want.Skyline) {
+				t.Errorf("%s δ=%05b: %v, want %v", name, delta, got, want.Skyline)
+			}
+		}
+	}
+}
+
+func TestReportsHaveCounters(t *testing.T) {
+	ds := gen.Synthetic(gen.Anticorrelated, 600, 5, 9)
+	cfg := Config{Threads: 2, Sockets: 1, HugePages: true}
+	for _, run := range []func() Report{
+		func() Report { r, _ := ProfilePQ(ds, cfg); return r },
+		func() Report { r, _ := ProfileST(ds, cfg); return r },
+		func() Report { r, _ := ProfileSD(ds, cfg); return r },
+		func() Report { r, _ := ProfileMD(ds, cfg); return r },
+	} {
+		r := run()
+		c := r.Counters
+		if c.Instructions == 0 || c.Loads == 0 {
+			t.Errorf("%s: empty counters %+v", r.Algo, c)
+		}
+		if r.CPI() <= 0 {
+			t.Errorf("%s: CPI = %v", r.Algo, r.CPI())
+		}
+	}
+}
+
+// The paper's headline hardware observation (Fig. 8): MDMC's static tree
+// misses cache orders of magnitude less often than the baseline's
+// pointer-chasing trees.
+func TestMDMissesLessThanPQ(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 2000, 6, 5)
+	cfg := Config{Threads: 4, Sockets: 1, HugePages: true}
+	pq, _ := ProfilePQ(ds, cfg)
+	md, _ := ProfileMD(ds, cfg)
+	if md.Counters.L2Misses >= pq.Counters.L2Misses {
+		t.Errorf("MD L2 misses (%d) should be below PQ (%d)",
+			md.Counters.L2Misses, pq.Counters.L2Misses)
+	}
+	if md.Counters.L3Misses >= pq.Counters.L3Misses {
+		t.Errorf("MD L3 misses (%d) should be below PQ (%d)",
+			md.Counters.L3Misses, pq.Counters.L3Misses)
+	}
+}
+
+// Fig. 10's observation: the data-parallel MD has a far lower STLB miss
+// rate than the pointer-chasing baseline. At unit-test scale (2 000 points)
+// transparent huge pages make every footprint TLB-resident, so the
+// comparison is run with 4 KiB pages, where the working-set difference is
+// observable; the harness's Figure 10 uses huge pages at larger scale.
+func TestMDTLBBetterThanPQ(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 2000, 6, 7)
+	cfg := Config{Threads: 4, Sockets: 1, HugePages: false}
+	pq, _ := ProfilePQ(ds, cfg)
+	md, _ := ProfileMD(ds, cfg)
+	if md.Counters.STLBMissRate() >= pq.Counters.STLBMissRate() {
+		t.Errorf("MD STLB rate (%v) should be below PQ (%v)",
+			md.Counters.STLBMissRate(), pq.Counters.STLBMissRate())
+	}
+}
+
+// Fig. 11's observation: PQ's CPI degrades when its threads span two
+// sockets; the second socket hurts it more than MD.
+func TestSecondSocketHurtsPQMost(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 2000, 6, 11)
+	one := Config{Threads: 4, Sockets: 1, HugePages: true}
+	two := Config{Threads: 4, Sockets: 2, HugePages: true}
+	pq1, _ := ProfilePQ(ds, one)
+	pq2, _ := ProfilePQ(ds, two)
+	md1, _ := ProfileMD(ds, one)
+	md2, _ := ProfileMD(ds, two)
+	pqDeg := pq2.CPI() / pq1.CPI()
+	mdDeg := md2.CPI() / md1.CPI()
+	if pqDeg < mdDeg {
+		t.Errorf("PQ should degrade more across sockets: PQ %.3f× vs MD %.3f×", pqDeg, mdDeg)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	sys := newSystem(Config{})
+	if sys.threads != 1 || sys.sockets != 1 {
+		t.Errorf("defaults: threads=%d sockets=%d", sys.threads, sys.sockets)
+	}
+	// Thread placement: with 4 threads on 2 sockets, half on each.
+	sys = newSystem(Config{Threads: 4, Sockets: 2})
+	s0, s1 := 0, 0
+	for w := 0; w < 4; w++ {
+		if sys.threadProbe(w).Socket() == 0 {
+			s0++
+		} else {
+			s1++
+		}
+	}
+	if s0 != 2 || s1 != 2 {
+		t.Errorf("placement: %d on socket0, %d on socket1", s0, s1)
+	}
+}

@@ -1,0 +1,129 @@
+package data
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVOptions configure CSV ingestion.
+type CSVOptions struct {
+	// Header skips the first row (column names).
+	Header bool
+	// Columns selects which CSV columns become dimensions, in order. Nil
+	// means every column.
+	Columns []int
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+}
+
+// ReadCSV parses tabular data into a dataset. Fields must be numeric in
+// the selected columns; rows with the wrong field count are an error.
+func ReadCSV(r io.Reader, opt CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opt.Comma != 0 {
+		cr.Comma = opt.Comma
+	}
+	cr.ReuseRecord = true
+	var vals []float32
+	d := 0
+	rowNum := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("data: csv row %d: %v", rowNum+1, err)
+		}
+		rowNum++
+		if opt.Header && rowNum == 1 {
+			continue
+		}
+		cols := opt.Columns
+		if cols == nil {
+			cols = make([]int, len(rec))
+			for i := range cols {
+				cols[i] = i
+			}
+		}
+		if d == 0 {
+			d = len(cols)
+		} else if len(cols) != d {
+			return nil, fmt.Errorf("data: csv row %d: %d selected columns, want %d", rowNum, len(cols), d)
+		}
+		for _, c := range cols {
+			if c < 0 || c >= len(rec) {
+				return nil, fmt.Errorf("data: csv row %d: column %d out of range (%d fields)", rowNum, c, len(rec))
+			}
+			v, err := strconv.ParseFloat(rec[c], 32)
+			if err != nil {
+				return nil, fmt.Errorf("data: csv row %d column %d: %v", rowNum, c, err)
+			}
+			vals = append(vals, float32(v))
+		}
+	}
+	if d == 0 || len(vals) == 0 {
+		return nil, fmt.Errorf("data: csv input has no data rows")
+	}
+	return New(d, vals), nil
+}
+
+// Direction states how a raw attribute relates to preference.
+type Direction int
+
+const (
+	// LowerBetter attributes are already in skyline orientation.
+	LowerBetter Direction = iota
+	// HigherBetter attributes are flipped during normalisation (points
+	// scored, throughput, …).
+	HigherBetter
+)
+
+// Normalize rescales every dimension into [0,1] with smaller-is-better
+// orientation: dimensions marked HigherBetter are mirrored. dirs may be nil
+// (all LowerBetter) or must have one entry per dimension. Constant
+// dimensions map to 0. Normalisation is order-preserving per dimension, so
+// dominance relationships — and therefore every subspace skyline — are
+// unchanged for LowerBetter dimensions and correctly reoriented for
+// HigherBetter ones.
+func Normalize(ds *Dataset, dirs []Direction) (*Dataset, error) {
+	d := ds.Dims
+	if dirs != nil && len(dirs) != d {
+		return nil, fmt.Errorf("data: %d directions for %d dimensions", len(dirs), d)
+	}
+	lo := make([]float32, d)
+	hi := make([]float32, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = ds.Value(0, j), ds.Value(0, j)
+	}
+	for i := 1; i < ds.N; i++ {
+		for j := 0; j < d; j++ {
+			v := ds.Value(i, j)
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	vals := make([]float32, len(ds.Vals))
+	for i := 0; i < ds.N; i++ {
+		for j := 0; j < d; j++ {
+			den := hi[j] - lo[j]
+			var v float32
+			if den > 0 {
+				v = (ds.Value(i, j) - lo[j]) / den
+			}
+			if dirs != nil && dirs[j] == HigherBetter {
+				v = 1 - v
+			}
+			vals[i*d+j] = v
+		}
+	}
+	ids := make([]int32, ds.N)
+	copy(ids, ds.IDs)
+	return &Dataset{Dims: d, N: ds.N, Vals: vals, IDs: ids}, nil
+}

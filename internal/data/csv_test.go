@@ -1,0 +1,132 @@
+package data
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1.5,2,3\n4,5.25,6\n"
+	ds, err := ReadCSV(strings.NewReader(in), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 2 || ds.Dims != 3 {
+		t.Fatalf("shape %dx%d", ds.N, ds.Dims)
+	}
+	if ds.Value(1, 1) != 5.25 {
+		t.Errorf("value = %v", ds.Value(1, 1))
+	}
+}
+
+func TestReadCSVHeaderAndColumns(t *testing.T) {
+	in := "name,price,rating,weight\nx,10,4.5,2\ny,20,3.0,1\n"
+	ds, err := ReadCSV(strings.NewReader(in), CSVOptions{Header: true, Columns: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 2 || ds.Dims != 2 {
+		t.Fatalf("shape %dx%d", ds.N, ds.Dims)
+	}
+	if ds.Value(0, 0) != 10 || ds.Value(1, 1) != 1 {
+		t.Errorf("values wrong: %v", ds.Vals)
+	}
+}
+
+func TestReadCSVSeparator(t *testing.T) {
+	ds, err := ReadCSV(strings.NewReader("1;2\n3;4\n"), CSVOptions{Comma: ';'})
+	if err != nil || ds.N != 2 {
+		t.Fatalf("semicolon CSV: %v", err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]CSVOptions{
+		"":      {},
+		"a,b\n": {},
+		"1,2\n": {Columns: []int{5}},
+		"h\n":   {Header: true},
+	}
+	for in, opt := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), opt); err == nil {
+			t.Errorf("input %q should error", in)
+		}
+	}
+}
+
+func TestNormalizeRangesAndDirections(t *testing.T) {
+	ds := FromRows([][]float32{
+		{10, 100, 7},
+		{20, 300, 7},
+		{30, 200, 7},
+	})
+	norm, err := Normalize(ds, []Direction{LowerBetter, HigherBetter, LowerBetter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dim 0: min-max into [0,1].
+	if norm.Value(0, 0) != 0 || norm.Value(2, 0) != 1 || norm.Value(1, 0) != 0.5 {
+		t.Errorf("dim 0: %v %v %v", norm.Value(0, 0), norm.Value(1, 0), norm.Value(2, 0))
+	}
+	// Dim 1 higher-better: 300 (best) → 0, 100 (worst) → 1.
+	if norm.Value(1, 1) != 0 || norm.Value(0, 1) != 1 || norm.Value(2, 1) != 0.5 {
+		t.Errorf("dim 1: %v %v %v", norm.Value(0, 1), norm.Value(1, 1), norm.Value(2, 1))
+	}
+	// Constant dim → all zero.
+	for i := 0; i < 3; i++ {
+		if norm.Value(i, 2) != 0 {
+			t.Errorf("constant dim should map to 0")
+		}
+	}
+}
+
+func TestNormalizePreservesDominance(t *testing.T) {
+	ds := FromRows([][]float32{
+		{3, 50}, {1, 80}, {2, 20}, {3, 80},
+	})
+	// Orient dim 1 as higher-better; after normalisation, dominance in the
+	// oriented space must match raw comparisons with the direction applied.
+	norm, err := Normalize(ds, []Direction{LowerBetter, HigherBetter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oriented := FromRows([][]float32{
+		{3, -50}, {1, -80}, {2, -20}, {3, -80},
+	})
+	for p := 0; p < ds.N; p++ {
+		for q := 0; q < ds.N; q++ {
+			if p == q {
+				continue
+			}
+			for _, delta := range mask.Subspaces(2) {
+				a := dom.DominatesIn(norm.Point(p), norm.Point(q), delta)
+				b := dom.DominatesIn(oriented.Point(p), oriented.Point(q), delta)
+				if a != b {
+					t.Fatalf("dominance changed: p=%d q=%d δ=%b", p, q, delta)
+				}
+			}
+		}
+	}
+}
+
+func TestNormalizeErrors(t *testing.T) {
+	ds := FromRows([][]float32{{1, 2}})
+	if _, err := Normalize(ds, []Direction{LowerBetter}); err == nil {
+		t.Error("direction count mismatch should error")
+	}
+}
+
+func TestNormalizeKeepsIDs(t *testing.T) {
+	ds := FromRows([][]float32{{1, 2}, {3, 4}}).Subset([]int{1})
+	norm, err := Normalize(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(norm.IDs, []int32{1}) {
+		t.Errorf("ids = %v", norm.IDs)
+	}
+}

@@ -1,0 +1,112 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	ds := New(3, []float32{1, 2, 3, 4, 5, 6})
+	if ds.N != 2 || ds.Dims != 3 {
+		t.Fatalf("N=%d Dims=%d, want 2, 3", ds.N, ds.Dims)
+	}
+	if ds.Value(1, 2) != 6 {
+		t.Errorf("Value(1,2) = %v, want 6", ds.Value(1, 2))
+	}
+	p := ds.Point(0)
+	if len(p) != 3 || p[0] != 1 {
+		t.Errorf("Point(0) = %v", p)
+	}
+	if ds.IDs[0] != 0 || ds.IDs[1] != 1 {
+		t.Errorf("identity ids wrong: %v", ds.IDs)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("misaligned", func() { New(3, []float32{1, 2, 3, 4}) })
+	mustPanic("zero dims", func() { New(0, nil) })
+	mustPanic("too many dims", func() { New(33, make([]float32, 33)) })
+	mustPanic("ragged rows", func() { FromRows([][]float32{{1, 2}, {3}}) })
+	mustPanic("empty rows", func() { FromRows(nil) })
+}
+
+func TestSubsetKeepsIDs(t *testing.T) {
+	ds := New(2, []float32{0, 0, 1, 1, 2, 2, 3, 3})
+	sub := ds.Subset([]int{3, 1})
+	if sub.N != 2 {
+		t.Fatalf("subset N = %d", sub.N)
+	}
+	if sub.IDs[0] != 3 || sub.IDs[1] != 1 {
+		t.Errorf("subset ids = %v, want [3 1]", sub.IDs)
+	}
+	if sub.Value(0, 0) != 3 || sub.Value(1, 1) != 1 {
+		t.Errorf("subset values wrong")
+	}
+	// Nested subsets must keep referring to the original ids.
+	sub2 := sub.Subset([]int{1})
+	if sub2.IDs[0] != 1 {
+		t.Errorf("nested subset id = %d, want 1", sub2.IDs[0])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds := New(2, []float32{1, 2, 3, 4})
+	c := ds.Clone()
+	c.Vals[0] = 99
+	c.IDs[0] = 42
+	if ds.Vals[0] != 1 || ds.IDs[0] != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ds := New(3, []float32{0.25, 1.5, 3, 0.125, 2.75, 4})
+	var buf bytes.Buffer
+	if err := ds.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ds.N || got.Dims != ds.Dims {
+		t.Fatalf("round trip shape: %dx%d, want %dx%d", got.N, got.Dims, ds.N, ds.Dims)
+	}
+	for i := range ds.Vals {
+		if got.Vals[i] != ds.Vals[i] {
+			t.Errorf("val[%d] = %v, want %v", i, got.Vals[i], ds.Vals[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 2\n3 4\n"
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N != 2 || ds.Dims != 2 {
+		t.Fatalf("N=%d Dims=%d", ds.N, ds.Dims)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Read(strings.NewReader("1 2\n3\n")); err == nil {
+		t.Error("ragged input should error")
+	}
+	if _, err := Read(strings.NewReader("1 x\n")); err == nil {
+		t.Error("non-numeric input should error")
+	}
+}

@@ -1,0 +1,280 @@
+// Package gen synthesises benchmark workloads.
+//
+// The core generator follows Börzsönyi, Kossmann and Stocker (ICDE 2001),
+// the standard benchmark used by the paper (§7.1): independent (I),
+// correlated (C) and anticorrelated (A) distributions over [0,1]^d, with
+// smaller values better. It additionally provides stand-ins for the paper's
+// four real datasets (App. A.1), reproducing their published shape — size,
+// dimensionality, attribute skew and extended-skyline fraction — because
+// the originals are external downloads this environment cannot fetch.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"skycube/internal/data"
+)
+
+// Distribution selects the synthetic workload family.
+type Distribution int
+
+const (
+	// Independent draws every attribute uniformly at random.
+	Independent Distribution = iota
+	// Correlated draws points near the diagonal: points good in one
+	// dimension tend to be good in all. Skylines are small.
+	Correlated
+	// Anticorrelated draws points near the anti-diagonal plane: points good
+	// in one dimension tend to be bad in others. Skylines are large.
+	Anticorrelated
+)
+
+// String implements fmt.Stringer with the paper's one-letter labels.
+func (d Distribution) String() string {
+	switch d {
+	case Independent:
+		return "I"
+	case Correlated:
+		return "C"
+	case Anticorrelated:
+		return "A"
+	}
+	return "?"
+}
+
+// Synthetic generates n points over d dimensions from the given
+// distribution, deterministically from seed.
+func Synthetic(dist Distribution, n, d int, seed int64) *data.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, n*d)
+	switch dist {
+	case Independent:
+		for i := range vals {
+			vals[i] = float32(rng.Float64())
+		}
+	case Correlated:
+		for i := 0; i < n; i++ {
+			base := peakedRand(rng) // common quality of the point
+			for j := 0; j < d; j++ {
+				v := base + 0.15*(rng.Float64()-0.5)
+				vals[i*d+j] = clamp01(v)
+			}
+		}
+	case Anticorrelated:
+		for i := 0; i < n; i++ {
+			// Draw a point whose coordinates sum to ≈ d/2: improveing one
+			// dimension must degrade another. Following the reference
+			// generator, sample a plane offset with small variance, then
+			// spread it across dimensions.
+			planeSum := float64(d)/2 + 0.25*normal(rng)
+			row := vals[i*d : (i+1)*d]
+			spreadOnPlane(rng, row, planeSum)
+		}
+	default:
+		panic("gen: unknown distribution")
+	}
+	return data.New(d, vals)
+}
+
+// peakedRand returns a value in [0,1] with a peak around 0.5, per the
+// reference generator's correlated family.
+func peakedRand(rng *rand.Rand) float64 {
+	return (rng.Float64() + rng.Float64()) / 2
+}
+
+// normal returns a standard normal variate.
+func normal(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}
+
+// spreadOnPlane fills row with values in [0,1] summing approximately to
+// planeSum, by repeatedly shifting mass between random pairs of dimensions.
+func spreadOnPlane(rng *rand.Rand, row []float32, planeSum float64) {
+	d := len(row)
+	// Start from an even split, clamped to [0,1].
+	per := planeSum / float64(d)
+	for j := range row {
+		row[j] = clamp01(per)
+	}
+	// Randomly exchange mass between pairs to decorrelate dimensions while
+	// preserving the sum (the signature of anticorrelation).
+	for k := 0; k < 2*d; k++ {
+		a, b := rng.Intn(d), rng.Intn(d)
+		if a == b {
+			continue
+		}
+		// Max transferable keeps both coordinates in [0,1].
+		m := math.Min(float64(row[a]), 1-float64(row[b]))
+		t := m * rng.Float64()
+		row[a] -= float32(t)
+		row[b] += float32(t)
+	}
+}
+
+func clamp01(v float64) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float32(v)
+}
+
+// RealDataset names a stand-in for one of the paper's real datasets
+// (Table 2).
+type RealDataset int
+
+const (
+	// NBA models databasebasketball.com player seasons: 17 264 × 8,
+	// correlated counting stats, |S⁺| ≈ 1 796.
+	NBA RealDataset = iota
+	// Household models the IPUMS expense survey: 127 931 × 6 percentage
+	// attributes, |S⁺| ≈ 5 774.
+	Household
+	// Covertype models the UCI forestry dataset: 581 012 × 10 with heavy
+	// low-cardinality skew (hillshade indices on 255 distinct values);
+	// ~74 % of points land in the extended skyline.
+	Covertype
+	// Weather models the CRU terrestrial precipitation grid: 566 268 × 15,
+	// coordinates clustered into continents, |S⁺| ≈ 78 036.
+	Weather
+)
+
+// String implements fmt.Stringer with the paper's dataset IDs.
+func (r RealDataset) String() string {
+	switch r {
+	case NBA:
+		return "NBA"
+	case Household:
+		return "HH"
+	case Covertype:
+		return "CT"
+	case Weather:
+		return "WE"
+	}
+	return "?"
+}
+
+// Spec returns the published shape of the dataset: size and dimensionality
+// from Table 2.
+func (r RealDataset) Spec() (n, d int) {
+	switch r {
+	case NBA:
+		return 17264, 8
+	case Household:
+		return 127931, 6
+	case Covertype:
+		return 581012, 10
+	case Weather:
+		return 566268, 15
+	}
+	return 0, 0
+}
+
+// Real synthesises the stand-in for dataset r at a scale factor in (0,1];
+// scale 1 reproduces the published row count. The seed fixes the content.
+func Real(r RealDataset, scale float64, seed int64) *data.Dataset {
+	n, d := r.Spec()
+	if scale > 0 && scale < 1 {
+		n = int(float64(n) * scale)
+		if n < 64 {
+			n = 64
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, n*d)
+	switch r {
+	case NBA:
+		genNBA(rng, vals, n, d)
+	case Household:
+		genHousehold(rng, vals, n, d)
+	case Covertype:
+		genCovertype(rng, vals, n, d)
+	case Weather:
+		genWeather(rng, vals, n, d)
+	}
+	return data.New(d, vals)
+}
+
+// genNBA: counting statistics are mutually correlated through a latent
+// "player quality" plus per-stat noise; a long tail of weak seasons. Lower
+// is better in our convention, so quality is inverted.
+func genNBA(rng *rand.Rand, vals []float32, n, d int) {
+	for i := 0; i < n; i++ {
+		quality := math.Pow(rng.Float64(), 0.45) // most seasons mediocre
+		for j := 0; j < d; j++ {
+			raw := quality + 0.18*normal(rng)
+			// Logistic squash instead of clamping: extreme seasons stay
+			// distinct rather than piling up at the boundary, so statistic
+			// leaders are unique the way real counting stats are.
+			vals[i*d+j] = float32(1 / (1 + math.Exp(-4*(raw-0.5))))
+		}
+	}
+}
+
+// genHousehold: percentage expenses; a few categories dominate and sum
+// pressure induces mild anticorrelation between big categories, while small
+// ones are nearly independent.
+func genHousehold(rng *rand.Rand, vals []float32, n, d int) {
+	for i := 0; i < n; i++ {
+		budget := 1.0
+		for j := 0; j < d-1; j++ {
+			share := budget * rng.Float64() * 0.6
+			vals[i*d+j] = clamp01(1 - share) // lower = bigger share = better trade-off surface
+			budget -= share
+			if budget < 0 {
+				budget = 0
+			}
+		}
+		vals[i*d+d-1] = clamp01(1 - budget)
+	}
+}
+
+// genCovertype: low-cardinality skewed attributes. Three "hillshade"
+// dimensions take one of 255 levels with mass piled near the optimum, which
+// is what makes 74 % of the points extended-skyline members.
+func genCovertype(rng *rand.Rand, vals []float32, n, d int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			switch {
+			case j < 3: // hillshade-like: 255 distinct values, skewed to 0
+				lv := int(255 * math.Pow(rng.Float64(), 2.2))
+				vals[i*d+j] = float32(lv) / 255
+			case j < 6: // distances: 100 distinct values, moderate skew
+				lv := int(100 * math.Pow(rng.Float64(), 1.3))
+				vals[i*d+j] = float32(lv) / 100
+			default: // elevation/slope-like: continuous but clustered
+				vals[i*d+j] = clamp01(0.3*normal(rng) + rng.Float64())
+			}
+		}
+	}
+}
+
+// genWeather: positions clustered into a handful of "continents"; monthly
+// precipitation depends on the cluster plus seasonal phase, capturing the
+// non-trivial attribute dependence the paper describes.
+func genWeather(rng *rand.Rand, vals []float32, n, d int) {
+	const clusters = 7
+	centers := make([][2]float64, clusters)
+	for c := range centers {
+		centers[c] = [2]float64{rng.Float64(), rng.Float64()}
+	}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(clusters)
+		lat := clamp01(centers[c][0] + 0.07*normal(rng))
+		lon := clamp01(centers[c][1] + 0.07*normal(rng))
+		elev := clamp01(math.Pow(rng.Float64(), 3) + 0.1*normal(rng))
+		vals[i*d+0] = lat
+		vals[i*d+1] = lon
+		vals[i*d+2] = elev
+		phase := 2 * math.Pi * float64(c) / clusters
+		wet := 0.3 + 0.6*rng.Float64()
+		for j := 3; j < d; j++ {
+			season := math.Sin(2*math.Pi*float64(j-3)/12 + phase)
+			precip := wet * (0.5 + 0.45*season)
+			vals[i*d+j] = clamp01(1 - precip + 0.12*normal(rng)) // low = extreme precipitation
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"testing"
+
+	"skycube/internal/data"
+)
+
+func TestSyntheticShapes(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated} {
+		ds := Synthetic(dist, 1000, 8, 7)
+		if ds.N != 1000 || ds.Dims != 8 {
+			t.Fatalf("%v: shape %dx%d", dist, ds.N, ds.Dims)
+		}
+		for i, v := range ds.Vals {
+			if v < 0 || v > 1 {
+				t.Fatalf("%v: value %v at %d out of [0,1]", dist, v, i)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(Anticorrelated, 500, 6, 42)
+	b := Synthetic(Anticorrelated, 500, 6, 42)
+	for i := range a.Vals {
+		if a.Vals[i] != b.Vals[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Synthetic(Anticorrelated, 500, 6, 43)
+	same := true
+	for i := range a.Vals {
+		if a.Vals[i] != c.Vals[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// corrCoef computes the Pearson correlation between two dimensions.
+func corrCoef(ds *data.Dataset, a, b int) float64 {
+	n := float64(ds.N)
+	var sa, sb, saa, sbb, sab float64
+	for i := 0; i < ds.N; i++ {
+		x, y := float64(ds.Value(i, a)), float64(ds.Value(i, b))
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+	}
+	cov := sab/n - sa/n*sb/n
+	va := saa/n - sa/n*sa/n
+	vb := sbb/n - sb/n*sb/n
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / (sqrt(va) * sqrt(vb))
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestDistributionCorrelationSigns(t *testing.T) {
+	const n, d = 20000, 6
+	corr := Synthetic(Correlated, n, d, 1)
+	anti := Synthetic(Anticorrelated, n, d, 1)
+	ind := Synthetic(Independent, n, d, 1)
+	cc := corrCoef(corr, 0, 3)
+	ca := corrCoef(anti, 0, 3)
+	ci := corrCoef(ind, 0, 3)
+	if cc < 0.5 {
+		t.Errorf("correlated data has r=%.3f between dims, want > 0.5", cc)
+	}
+	if ca > -0.05 {
+		t.Errorf("anticorrelated data has r=%.3f between dims, want < -0.05", ca)
+	}
+	if ci < -0.05 || ci > 0.05 {
+		t.Errorf("independent data has r=%.3f between dims, want ≈ 0", ci)
+	}
+}
+
+func TestRealSpecs(t *testing.T) {
+	cases := []struct {
+		r    RealDataset
+		n, d int
+	}{
+		{NBA, 17264, 8},
+		{Household, 127931, 6},
+		{Covertype, 581012, 10},
+		{Weather, 566268, 15},
+	}
+	for _, c := range cases {
+		n, d := c.r.Spec()
+		if n != c.n || d != c.d {
+			t.Errorf("%v: spec %dx%d, want %dx%d", c.r, n, d, c.n, c.d)
+		}
+	}
+}
+
+func TestRealScaled(t *testing.T) {
+	for _, r := range []RealDataset{NBA, Household, Covertype, Weather} {
+		ds := Real(r, 0.01, 9)
+		_, d := r.Spec()
+		if ds.Dims != d {
+			t.Errorf("%v: dims %d, want %d", r, ds.Dims, d)
+		}
+		if ds.N < 64 {
+			t.Errorf("%v: scaled size %d below floor", r, ds.N)
+		}
+		for i, v := range ds.Vals {
+			if v < 0 || v > 1 {
+				t.Fatalf("%v: value %v at %d out of range", r, v, i)
+			}
+		}
+	}
+}
+
+func TestCovertypeLowCardinality(t *testing.T) {
+	ds := Real(Covertype, 0.02, 11)
+	distinct := make(map[float32]bool)
+	for i := 0; i < ds.N; i++ {
+		distinct[ds.Value(i, 0)] = true
+	}
+	if len(distinct) > 256 {
+		t.Errorf("hillshade-like dim has %d distinct values, want ≤ 256", len(distinct))
+	}
+}
+
+func TestStringLabels(t *testing.T) {
+	if Independent.String() != "I" || Correlated.String() != "C" || Anticorrelated.String() != "A" {
+		t.Error("distribution labels wrong")
+	}
+	if NBA.String() != "NBA" || Household.String() != "HH" || Covertype.String() != "CT" || Weather.String() != "WE" {
+		t.Error("dataset labels wrong")
+	}
+	if Distribution(99).String() != "?" || RealDataset(99).String() != "?" {
+		t.Error("unknown labels should be ?")
+	}
+}

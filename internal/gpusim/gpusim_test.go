@@ -1,0 +1,123 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchRunsEveryBlock(t *testing.T) {
+	dev := GTX980()
+	var seen int64
+	hits := make([]int32, 100)
+	st, err := dev.Launch(100, 64, 0, func(b *BlockCtx) {
+		atomic.AddInt64(&seen, 1)
+		atomic.AddInt32(&hits[b.Block], 1)
+		b.Instr(10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 100 || st.Blocks != 100 {
+		t.Fatalf("ran %d blocks, stats %d, want 100", seen, st.Blocks)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("block %d ran %d times", i, h)
+		}
+	}
+	if st.Instructions != 1000 {
+		t.Errorf("instructions = %d, want 1000", st.Instructions)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	dev := GTX980()
+	if _, err := dev.Launch(1, 33, 0, func(*BlockCtx) {}); err == nil {
+		t.Error("non-warp-multiple block size should error")
+	}
+	if _, err := dev.Launch(1, 0, 0, func(*BlockCtx) {}); err == nil {
+		t.Error("zero block size should error")
+	}
+	if _, err := dev.Launch(1, 32, dev.SharedMemPerSM+1, func(*BlockCtx) {}); err == nil {
+		t.Error("oversized shared memory should error")
+	}
+	st, err := dev.Launch(0, 32, 0, func(*BlockCtx) { t.Error("kernel ran") })
+	if err != nil || st.Blocks != 0 {
+		t.Error("zero blocks should be a no-op")
+	}
+}
+
+func TestOccupancyShrinksWithSharedMemory(t *testing.T) {
+	dev := GTX980()
+	free := dev.OccupantBlocks(0)
+	small := dev.OccupantBlocks(1024)
+	big := dev.OccupantBlocks(16 * 1024) // d=16 MDMC state: 2×8 KB
+	if !(free >= small && small >= big) {
+		t.Fatalf("occupancy not monotone: %d, %d, %d", free, small, big)
+	}
+	if big != dev.SMs*(dev.SharedMemPerSM/(16*1024)) {
+		t.Errorf("big occupancy = %d", big)
+	}
+	// Even a block using the whole SM keeps one resident per SM.
+	if got := dev.OccupantBlocks(dev.SharedMemPerSM); got != dev.SMs {
+		t.Errorf("full-SM block occupancy = %d, want %d", got, dev.SMs)
+	}
+}
+
+func TestCoalescingAccounting(t *testing.T) {
+	dev := GTX980()
+	st, err := dev.Launch(1, 32, 0, func(b *BlockCtx) {
+		b.LoadCoalesced(128)   // exactly one line
+		b.LoadCoalesced(129)   // two lines
+		b.LoadScattered(32, 4) // 32 transactions
+		b.SharedAccess(5)
+		b.Diverge()
+		b.Vote(true)
+		b.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Transactions != 1+2+32 {
+		t.Errorf("transactions = %d, want 35", st.Transactions)
+	}
+	if st.SharedAccesses != 5 || st.Divergences != 1 || st.Votes != 1 || st.Syncs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestModelSecondsPositiveAndMonotone(t *testing.T) {
+	dev := GTX980()
+	a := dev.ModelSeconds(Stats{Instructions: 1e6, Transactions: 1e4})
+	b := dev.ModelSeconds(Stats{Instructions: 2e6, Transactions: 1e4})
+	c := dev.ModelSeconds(Stats{Instructions: 1e6, Transactions: 1e6})
+	if a <= 0 || b <= a || c <= a {
+		t.Errorf("model seconds not monotone: %g %g %g", a, b, c)
+	}
+	// The older Titan should be slower on identical work.
+	titan := GTXTitan()
+	if titan.ModelSeconds(Stats{Instructions: 1e6, Transactions: 1e4}) <= a {
+		t.Error("Titan should model slower than GTX 980")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Blocks: 1, Instructions: 2, Transactions: 3, SharedAccesses: 4, Divergences: 5, Votes: 6, Syncs: 7}
+	b := a
+	a.Add(b)
+	if a.Blocks != 2 || a.Instructions != 4 || a.Syncs != 14 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+func TestVoteReturnsArgument(t *testing.T) {
+	dev := GTX980()
+	_, err := dev.Launch(1, 32, 0, func(b *BlockCtx) {
+		if !b.Vote(true) || b.Vote(false) {
+			t.Error("Vote must return its argument")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

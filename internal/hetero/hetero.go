@@ -1,0 +1,266 @@
+// Package hetero composes the template specialisations across devices — the
+// paper's cross-device parallelism (§1, §4.1): one dual-socket CPU and any
+// number of modelled GPUs cooperating on a single skycube, sharing the
+// read-only template structures and pulling parallel tasks from a common
+// queue.
+//
+// For SDSC the unit of work is a cuboid: with k devices, k cuboids of a
+// lattice level run concurrently, each computed by that device's parallel
+// skyline algorithm (§4.2.2). For MDMC the unit is a chunk of point tasks
+// (§4.3). Task pulling is dynamic, so the work distribution adapts to each
+// device's actual throughput — the property Figure 12 measures.
+package hetero
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"skycube/internal/data"
+	"skycube/internal/gpu"
+	"skycube/internal/gpusim"
+	"skycube/internal/lattice"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+	"skycube/internal/templates"
+)
+
+// Grab hands out the next chunk of at most size point tasks, returning
+// lo == hi when the queue is exhausted.
+type Grab func(size int) (lo, hi int)
+
+// Device is one compute unit participating in a cross-device run.
+type Device interface {
+	// Name identifies the device in work-share reports.
+	Name() string
+	// Cuboid computes one SDSC task: S_δ and S⁺_δ\S_δ over rows of ds.
+	Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) (sky, extOnly []int32)
+	// RunPoints consumes MDMC point chunks via grab until exhaustion,
+	// reporting each completed chunk size to account.
+	RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int))
+}
+
+// CPUDevice is the multicore CPU as a device: Hybrid for cuboids, the §5.2
+// kernel for points.
+type CPUDevice struct {
+	// Threads is the core count the device may use.
+	Threads int
+	// Label overrides the default name (e.g. "CPU0"/"CPU1" to present two
+	// sockets as separate devices, as Figure 12 does).
+	Label string
+	// MDMC options for the point kernel (ablations, partial computation).
+	MDMCOpt templates.MDMCOptions
+}
+
+// Name implements Device.
+func (c *CPUDevice) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return "CPU"
+}
+
+func (c *CPUDevice) threads() int {
+	if c.Threads < 1 {
+		return 1
+	}
+	return c.Threads
+}
+
+// Cuboid implements Device with the Hybrid multicore skyline.
+func (c *CPUDevice) Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) ([]int32, []int32) {
+	res := skyline.Compute(ds, rows, delta, skyline.AlgoHybrid, c.threads())
+	return res.Skyline, res.ExtOnly
+}
+
+// cpuPointChunk is the grab size per CPU worker.
+const cpuPointChunk = 64
+
+// RunPoints implements Device: every core is an independent puller.
+func (c *CPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int)) {
+	kernel := templates.CPUPointKernel(c.MDMCOpt)
+	var wg sync.WaitGroup
+	n := c.threads()
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi := grab(cpuPointChunk)
+				if lo >= hi {
+					return
+				}
+				kernel(ctx, lo, hi)
+				account(hi - lo)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// GPUDevice wraps one modelled GPU.
+type GPUDevice struct {
+	Dev *gpusim.Device
+	// Label disambiguates same-model cards ("980-1", "980-2").
+	Label string
+	// Stats, if non-nil, accumulates the device's modelled counters.
+	Stats *gpu.StatsCollector
+}
+
+// Name implements Device.
+func (g *GPUDevice) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return g.Dev.Name
+}
+
+// Cuboid implements Device with the SkyAlign-style device kernel.
+func (g *GPUDevice) Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) ([]int32, []int32) {
+	res := gpu.Compute(g.Dev, ds, rows, delta, g.Stats)
+	return res.Skyline, res.ExtOnly
+}
+
+// gpuPointChunk is the grab size per kernel launch: large enough to fill a
+// good fraction of the device's resident blocks, small enough that the
+// dynamic queue still balances when the task count is modest.
+const gpuPointChunk = 256
+
+// RunPoints implements Device: one puller that turns each chunk into a
+// block-per-point kernel launch.
+func (g *GPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int)) {
+	kernel := gpu.PointKernel(g.Dev, g.Stats)
+	for {
+		lo, hi := grab(gpuPointChunk)
+		if lo >= hi {
+			return
+		}
+		kernel(ctx, lo, hi)
+		account(hi - lo)
+	}
+}
+
+// Shares records how many parallel tasks each device completed.
+type Shares struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewShares returns an empty share tracker.
+func NewShares() *Shares { return &Shares{counts: make(map[string]int64)} }
+
+// Add credits n tasks to a device.
+func (s *Shares) Add(name string, n int64) {
+	s.mu.Lock()
+	s.counts[name] += n
+	s.mu.Unlock()
+}
+
+// Total returns the number of tasks completed across all devices.
+func (s *Shares) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, c := range s.counts {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns each device's share of the total, sorted by name.
+func (s *Shares) Fractions() []DeviceShare {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, c := range s.counts {
+		total += c
+	}
+	out := make([]DeviceShare, 0, len(s.counts))
+	for name, c := range s.counts {
+		f := 0.0
+		if total > 0 {
+			f = float64(c) / float64(total)
+		}
+		out = append(out, DeviceShare{Name: name, Tasks: c, Fraction: f})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// DeviceShare is one device's slice of the parallel work.
+type DeviceShare struct {
+	Name     string
+	Tasks    int64
+	Fraction float64
+}
+
+// SDSCAll runs the SDSC template across all devices: within each lattice
+// level, devices pull cuboids from a shared queue, so k devices compute k
+// cuboids concurrently (Figure 2b with multiple devices).
+func SDSCAll(ds *data.Dataset, devices []Device, maxLevel int) (*lattice.Lattice, *Shares) {
+	shares := NewShares()
+	pool := make(chan Device, len(devices))
+	for _, d := range devices {
+		pool <- d
+	}
+	hook := func(ds *data.Dataset, rows []int32, delta mask.Mask) ([]int32, []int32) {
+		dev := <-pool
+		defer func() { pool <- dev }()
+		sky, extOnly := dev.Cuboid(ds, rows, delta)
+		shares.Add(dev.Name(), 1)
+		return sky, extOnly
+	}
+	l := lattice.TopDown(ds, hook, lattice.TopDownOptions{
+		CuboidThreads: len(devices),
+		MaxLevel:      maxLevel,
+	})
+	return l, shares
+}
+
+// MDMCAll runs the MDMC template across all devices: the shared tree and
+// HashCube are built once; devices then drain the point-task queue
+// concurrently with no further synchronisation (§4.3).
+func MDMCAll(ds *data.Dataset, devices []Device, prepThreads, maxLevel int) (*templates.MDMCResult, *Shares) {
+	ctx := templates.PrepareMDMC(ds, prepThreads, 3, maxLevel)
+	shares := NewShares()
+	n := ctx.NumTasks()
+	var next int64
+	grab := func(size int) (int, int) {
+		lo := int(atomic.AddInt64(&next, int64(size))) - size
+		if lo >= n {
+			return n, n
+		}
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(devices))
+	for _, d := range devices {
+		go func(dev Device) {
+			defer wg.Done()
+			dev.RunPoints(ctx, grab, func(k int) { shares.Add(dev.Name(), int64(k)) })
+		}(d)
+	}
+	wg.Wait()
+	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares
+}
+
+// DefaultEcosystem reproduces the paper's test machine as devices: the two
+// CPU sockets presented as one CPU device per socket, plus two GTX 980s and
+// one Titan (§7.1 “Hardware”).
+func DefaultEcosystem(cpuThreads int) []Device {
+	half := cpuThreads / 2
+	if half < 1 {
+		half = 1
+	}
+	return []Device{
+		&CPUDevice{Threads: half, Label: "CPU0"},
+		&CPUDevice{Threads: cpuThreads - half, Label: "CPU1"},
+		&GPUDevice{Dev: gpusim.GTX980(), Label: "980-1"},
+		&GPUDevice{Dev: gpusim.GTX980(), Label: "980-2"},
+		&GPUDevice{Dev: gpusim.GTXTitan(), Label: "Titan"},
+	}
+}

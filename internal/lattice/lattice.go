@@ -1,0 +1,245 @@
+// Package lattice implements the lattice skycube representation (paper
+// Fig. 1a) and the level-synchronised top-down traversal (Algorithms 1–2)
+// shared by the lattice-based algorithms: QSkycube, PQSkycube, STSC and
+// SDSC. Each non-empty subspace δ stores the point ids of S_δ plus the
+// extra ids of S⁺_δ, so child cuboids can use the parent's extended skyline
+// as a reduced input.
+package lattice
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skycube/internal/data"
+	"skycube/internal/mask"
+)
+
+// Lattice is a materialised skycube: Sky[δ] is the sorted id list of S_δ
+// and ExtOnly[δ] the sorted ids of S⁺_δ \ S_δ. Index 0 (the empty subspace)
+// is unused. For a partial skycube only levels |δ| ≤ MaxLevel are filled.
+type Lattice struct {
+	D        int
+	MaxLevel int
+	Sky      [][]int32
+	ExtOnly  [][]int32
+}
+
+// New returns an empty lattice over d dimensions.
+func New(d int) *Lattice {
+	n := 1 << uint(d)
+	return &Lattice{D: d, MaxLevel: d, Sky: make([][]int32, n), ExtOnly: make([][]int32, n)}
+}
+
+// Skyline returns S_δ (nil if δ was not materialised).
+func (l *Lattice) Skyline(delta mask.Mask) []int32 { return l.Sky[delta] }
+
+// Extended returns |S⁺_δ|.
+func (l *Lattice) ExtendedSize(delta mask.Mask) int {
+	return len(l.Sky[delta]) + len(l.ExtOnly[delta])
+}
+
+// Membership returns the subspaces in which point id is a skyline member,
+// ascending. The lattice is organised per subspace, so this scans every
+// materialised cuboid with a binary search — the access-pattern asymmetry
+// versus the HashCube that the paper notes in §2.2.
+func (l *Lattice) Membership(id int32) []mask.Mask {
+	var out []mask.Mask
+	for delta := mask.Mask(1); int(delta) < len(l.Sky); delta++ {
+		ids := l.Sky[delta]
+		lo, hi := 0, len(ids)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ids[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(ids) && ids[lo] == id {
+			out = append(out, delta)
+		}
+	}
+	return out
+}
+
+// IDCount returns the total number of stored ids — the lattice's redundancy
+// measure (each id is stored once per subspace skyline it appears in).
+func (l *Lattice) IDCount() int {
+	total := 0
+	for delta := 1; delta < len(l.Sky); delta++ {
+		total += len(l.Sky[delta]) + len(l.ExtOnly[delta])
+	}
+	return total
+}
+
+// MinParent returns the immediate superspace of δ with the smallest
+// extended skyline — the reduced-input choice on line 5 of Algorithms 1–2.
+// It panics if no parent is materialised (the traversal always fills level
+// l+1 before level l).
+func (l *Lattice) MinParent(delta mask.Mask) mask.Mask {
+	best := mask.Mask(0)
+	bestSize := int(^uint(0) >> 1)
+	for _, p := range mask.Parents(delta, l.D) {
+		if l.Sky[p] == nil && l.ExtOnly[p] == nil {
+			continue
+		}
+		if s := l.ExtendedSize(p); s < bestSize {
+			bestSize = s
+			best = p
+		}
+	}
+	if best == 0 {
+		panic("lattice: no materialised parent")
+	}
+	return best
+}
+
+// CuboidFunc computes one cuboid: given the input dataset, the candidate
+// rows (ids into ds; never nil) and the subspace, it returns the rows of
+// S_δ and of S⁺_δ \ S_δ, each ascending. It is the hook the templates
+// specialise (paper §4.2).
+type CuboidFunc func(ds *data.Dataset, rows []int32, delta mask.Mask) (sky, extOnly []int32)
+
+// TopDownOptions configure a traversal.
+type TopDownOptions struct {
+	// CuboidThreads is the number of cuboids computed concurrently within a
+	// lattice level (the STSC/PQSkycube axis of parallelism). 1 means each
+	// level is computed cuboid-by-cuboid (SDSC and sequential QSkycube).
+	CuboidThreads int
+	// MaxLevel d′ restricts materialisation to subspaces with |δ| ≤ d′
+	// (partial skycubes, paper App. A.2). 0 or ≥ d means the full skycube.
+	// When d′ < d the full-space extended skyline is computed once and used
+	// as the input for every level-d′ cuboid.
+	MaxLevel int
+	// OnCuboid, if non-nil, is called after each cuboid completes. Used by
+	// the cross-device scheduler to account work shares.
+	OnCuboid func(delta mask.Mask)
+	// FirstParent, if set, feeds each cuboid the extended skyline of its
+	// *first* materialised parent instead of the smallest one — the
+	// ablation of the min-cardinality parent selection on line 5 of
+	// Algorithms 1–2.
+	FirstParent bool
+}
+
+// TopDown materialises the skycube of ds with the level-synchronised
+// traversal of Algorithms 1–2, calling compute for every cuboid. The root
+// cuboid's input is all of ds; every other cuboid receives the extended
+// skyline of its smallest materialised parent.
+func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice {
+	d := ds.Dims
+	l := New(d)
+	maxLevel := opt.MaxLevel
+	if maxLevel <= 0 || maxLevel > d {
+		maxLevel = d
+	}
+	l.MaxLevel = maxLevel
+	threads := opt.CuboidThreads
+	if threads < 1 {
+		threads = 1
+	}
+
+	all := make([]int32, ds.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+
+	var topInput []int32 // input rows for the top materialised level
+	if maxLevel == d {
+		topInput = all
+	} else {
+		// Partial skycube: compute S⁺ of the full space once as the reduced
+		// input for level maxLevel, without materialising levels above it.
+		sky, extOnly := compute(ds, all, mask.Full(d))
+		topInput = mergeSorted(sky, extOnly)
+	}
+
+	for level := maxLevel; level >= 1; level-- {
+		cuboids := mask.Level(d, level)
+		run := func(delta mask.Mask) {
+			rows := topInput
+			if level < maxLevel {
+				rows = inputRows(l, delta, opt.FirstParent)
+			}
+			sky, extOnly := compute(ds, rows, delta)
+			l.Sky[delta] = sky
+			l.ExtOnly[delta] = extOnly
+			if opt.OnCuboid != nil {
+				opt.OnCuboid(delta)
+			}
+		}
+		if threads == 1 || len(cuboids) == 1 {
+			for _, delta := range cuboids {
+				run(delta)
+			}
+			continue
+		}
+		// Level-parallel: cuboids are independent; synchronise per level.
+		var next int64
+		var wg sync.WaitGroup
+		workers := threads
+		if workers > len(cuboids) {
+			workers = len(cuboids)
+		}
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&next, 1) - 1
+					if i >= int64(len(cuboids)) {
+						return
+					}
+					run(cuboids[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return l
+}
+
+// inputRows returns the extended skyline of δ's smallest (or, for the
+// ablation, first) materialised parent.
+func inputRows(l *Lattice, delta mask.Mask, firstParent bool) []int32 {
+	var p mask.Mask
+	if firstParent {
+		p = l.anyParent(delta)
+	} else {
+		p = l.MinParent(delta)
+	}
+	return mergeSorted(l.Sky[p], l.ExtOnly[p])
+}
+
+// anyParent returns the first materialised immediate superspace of δ.
+func (l *Lattice) anyParent(delta mask.Mask) mask.Mask {
+	for _, p := range mask.Parents(delta, l.D) {
+		if l.Sky[p] != nil || l.ExtOnly[p] != nil {
+			return p
+		}
+	}
+	panic("lattice: no materialised parent")
+}
+
+// mergeSorted merges two ascending id lists.
+func mergeSorted(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,242 @@
+package mask
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		d    int
+		want Mask
+	}{{1, 1}, {2, 3}, {3, 7}, {4, 15}, {12, 4095}, {16, 65535}}
+	for _, c := range cases {
+		if got := Full(c.d); got != c.want {
+			t.Errorf("Full(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCountAndContains(t *testing.T) {
+	if Count(0b1011) != 3 {
+		t.Errorf("Count(1011b) = %d, want 3", Count(0b1011))
+	}
+	if !Contains(0b111, 0b101) {
+		t.Error("111b should contain 101b")
+	}
+	if Contains(0b101, 0b111) {
+		t.Error("101b should not contain 111b")
+	}
+	if !Contains(0b101, 0b101) {
+		t.Error("a subspace contains itself")
+	}
+}
+
+func TestSubspaces(t *testing.T) {
+	s := Subspaces(3)
+	if len(s) != 7 {
+		t.Fatalf("len(Subspaces(3)) = %d, want 7", len(s))
+	}
+	for i, m := range s {
+		if m != Mask(i+1) {
+			t.Errorf("Subspaces(3)[%d] = %d, want %d", i, m, i+1)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	l2 := Level(3, 2)
+	want := []Mask{0b011, 0b101, 0b110}
+	if len(l2) != len(want) {
+		t.Fatalf("Level(3,2) = %v, want %v", l2, want)
+	}
+	for i := range want {
+		if l2[i] != want[i] {
+			t.Errorf("Level(3,2)[%d] = %b, want %b", i, l2[i], want[i])
+		}
+	}
+	if got := Level(3, 0); got != nil {
+		t.Errorf("Level(3,0) = %v, want nil", got)
+	}
+	if got := Level(3, 4); got != nil {
+		t.Errorf("Level(3,4) = %v, want nil", got)
+	}
+}
+
+func TestLevelCoversAllSubspaces(t *testing.T) {
+	for d := 1; d <= 10; d++ {
+		seen := make(map[Mask]bool)
+		total := 0
+		for l := 1; l <= d; l++ {
+			masks := Level(d, l)
+			if len(masks) != Binomial(d, l) {
+				t.Fatalf("d=%d l=%d: %d masks, want C(%d,%d)=%d",
+					d, l, len(masks), d, l, Binomial(d, l))
+			}
+			for _, m := range masks {
+				if Count(m) != l {
+					t.Fatalf("d=%d l=%d: mask %b has popcount %d", d, l, m, Count(m))
+				}
+				if seen[m] {
+					t.Fatalf("d=%d: duplicate mask %b", d, m)
+				}
+				seen[m] = true
+			}
+			total += len(masks)
+		}
+		if total != NumSubspaces(d) {
+			t.Fatalf("d=%d: levels cover %d subspaces, want %d", d, total, NumSubspaces(d))
+		}
+	}
+}
+
+func TestLevelsOrder(t *testing.T) {
+	lv := Levels(4)
+	if len(lv) != 4 {
+		t.Fatalf("Levels(4) has %d layers, want 4", len(lv))
+	}
+	if len(lv[0]) != 1 || lv[0][0] != Full(4) {
+		t.Errorf("Levels(4)[0] = %v, want [%d]", lv[0], Full(4))
+	}
+	if len(lv[3]) != 4 {
+		t.Errorf("bottom layer has %d subspaces, want 4", len(lv[3]))
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	p := Parents(0b011, 3)
+	if len(p) != 1 || p[0] != 0b111 {
+		t.Errorf("Parents(011b, 3) = %v, want [111b]", p)
+	}
+	p = Parents(0b001, 3)
+	if len(p) != 2 {
+		t.Errorf("Parents(001b, 3) = %v, want 2 parents", p)
+	}
+	c := Children(0b111)
+	if len(c) != 3 {
+		t.Errorf("Children(111b) = %v, want 3 children", c)
+	}
+	c = Children(0b001)
+	if len(c) != 0 {
+		t.Errorf("Children(001b) = %v, want none", c)
+	}
+}
+
+func TestParentChildDuality(t *testing.T) {
+	d := 6
+	for _, delta := range Subspaces(d) {
+		for _, par := range Parents(delta, d) {
+			found := false
+			for _, ch := range Children(par) {
+				if ch == delta {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("δ=%b has parent %b whose children omit it", delta, par)
+			}
+		}
+	}
+}
+
+func TestSubmasksOf(t *testing.T) {
+	var got []Mask
+	SubmasksOf(0b101, func(m Mask) bool {
+		got = append(got, m)
+		return true
+	})
+	want := []Mask{0b101, 0b100, 0b001}
+	if len(got) != len(want) {
+		t.Fatalf("SubmasksOf(101b) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SubmasksOf(101b)[%d] = %b, want %b", i, got[i], want[i])
+		}
+	}
+	SubmasksOf(0, func(Mask) bool {
+		t.Error("SubmasksOf(0) should not call fn")
+		return true
+	})
+}
+
+func TestSubmasksOfEarlyStop(t *testing.T) {
+	n := 0
+	SubmasksOf(0b1111, func(Mask) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop after %d calls, want 3", n)
+	}
+}
+
+func TestSubmasksCountProperty(t *testing.T) {
+	f := func(m8 uint8) bool {
+		m := Mask(m8)
+		if m == 0 {
+			return true
+		}
+		n := 0
+		SubmasksOf(m, func(s Mask) bool {
+			if s&^m != 0 {
+				return false // not a submask: fail via count mismatch
+			}
+			n++
+			return true
+		})
+		return n == (1<<uint(Count(m)))-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	// δ = 0b1010 selects dims 1 and 3; m = 0b1000 has only dim 3 set.
+	if got := Project(0b1000, 0b1010); got != 0b10 {
+		t.Errorf("Project(1000b, 1010b) = %b, want 10b", got)
+	}
+	if got := Project(0b0010, 0b1010); got != 0b01 {
+		t.Errorf("Project(0010b, 1010b) = %b, want 01b", got)
+	}
+	if got := Project(0b1111, 0b1010); got != 0b11 {
+		t.Errorf("Project(1111b, 1010b) = %b, want 11b", got)
+	}
+}
+
+func TestProjectPopcountProperty(t *testing.T) {
+	f := func(m16, d16 uint16) bool {
+		m, delta := Mask(m16), Mask(d16)
+		p := Project(m, delta)
+		return Count(p) == bits.OnesCount32(m&delta) && p < 1<<uint(Count(delta))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDims(t *testing.T) {
+	d := Dims(0b1011)
+	want := []int{0, 1, 3}
+	if len(d) != len(want) {
+		t.Fatalf("Dims(1011b) = %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("Dims(1011b)[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{16, 8, 12870}, {12, 6, 924}, {4, 2, 6}, {5, 0, 1}, {5, 5, 1}, {3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}

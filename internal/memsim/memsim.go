@@ -1,0 +1,362 @@
+// Package memsim models the CPU memory hierarchy — private L2 caches, a
+// shared per-socket L3, a second-level TLB, and NUMA-distant memory — so
+// the hardware-counter analysis of the paper's §7.2 (Figures 8–11) can be
+// reproduced without PAPI or model-specific performance counters, which Go
+// cannot read portably.
+//
+// Algorithms run in a "profiled build" (package internal/counters) that
+// routes the loads of their hot loops through per-thread probes. The model
+// then reports, per run: L2/L3 misses, cycles stalled on pending L2/L3
+// loads, STLB misses and page-walk cycles, and a derived cycles-per-
+// instruction figure. Absolute numbers are a model; the comparisons the
+// paper draws — which algorithm misses more, and what happens when the
+// same thread count is split across two sockets — are driven entirely by
+// the algorithms' real access streams.
+//
+// The default configuration mirrors the paper's dual-socket Xeon E5-2687W
+// v3 (10 cores/socket, 256 KB private L2, 25 MB shared L3, transparent
+// huge pages available).
+package memsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config describes the modelled machine.
+type Config struct {
+	Sockets        int
+	CoresPerSocket int
+	LineBytes      int
+	L2Bytes        int
+	L2Ways         int
+	L3Bytes        int
+	L3Ways         int
+	// STLBEntries is the unified second-level TLB size; PageBytes is the
+	// page size (2 MiB with transparent huge pages, as the paper enables).
+	STLBEntries int
+	STLBWays    int
+	PageBytes   int
+	// Latencies in cycles.
+	L2HitCycles    int
+	L3HitCycles    int
+	MemCycles      int
+	RemoteFactor   float64 // multiplier for NUMA-remote memory
+	PageWalkCycles int
+	// BaseCPI is the no-stall cycles per instruction (0.25 = 4-wide issue).
+	BaseCPI float64
+	// HideFactor in [0,1] is the fraction of miss latency hidden by
+	// out-of-order execution and prefetching.
+	HideFactor float64
+}
+
+// DefaultConfig returns the paper's machine with the given socket count
+// (1 or 2) and huge pages on or off.
+func DefaultConfig(sockets int, hugePages bool) Config {
+	page := 4 << 10
+	if hugePages {
+		page = 2 << 20
+	}
+	return Config{
+		Sockets:        sockets,
+		CoresPerSocket: 10,
+		LineBytes:      64,
+		L2Bytes:        256 << 10,
+		L2Ways:         8,
+		L3Bytes:        25 << 20,
+		L3Ways:         20,
+		STLBEntries:    1024,
+		STLBWays:       8,
+		PageBytes:      page,
+		L2HitCycles:    12,
+		L3HitCycles:    40,
+		MemCycles:      220,
+		RemoteFactor:   1.7,
+		PageWalkCycles: 90,
+		BaseCPI:        0.25,
+		HideFactor:     0.55,
+	}
+}
+
+// Counters are the accumulated events of one thread or a whole run.
+type Counters struct {
+	Instructions int64
+	Loads        int64
+	L2Misses     int64
+	L3Misses     int64
+	// StallL2Pending / StallL3Pending are cycles stalled while a load was
+	// pending at that level (Figure 9's two panels).
+	StallL2Pending int64
+	StallL3Pending int64
+	STLBMisses     int64
+	PageWalkCycles int64
+	// SyncCycles are cycles spent in barriers and joins (thread-parallel
+	// algorithms' synchronisation overhead).
+	SyncCycles int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Instructions += other.Instructions
+	c.Loads += other.Loads
+	c.L2Misses += other.L2Misses
+	c.L3Misses += other.L3Misses
+	c.StallL2Pending += other.StallL2Pending
+	c.StallL3Pending += other.StallL3Pending
+	c.STLBMisses += other.STLBMisses
+	c.PageWalkCycles += other.PageWalkCycles
+	c.SyncCycles += other.SyncCycles
+}
+
+// Cycles returns the modelled cycle count: base issue plus unhidden stalls
+// and page walks.
+func (c Counters) Cycles(cfg Config) int64 {
+	base := float64(c.Instructions) * cfg.BaseCPI
+	return int64(base) + c.StallL2Pending + c.StallL3Pending + c.PageWalkCycles + c.SyncCycles
+}
+
+// CPI returns modelled cycles per instruction.
+func (c Counters) CPI(cfg Config) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles(cfg)) / float64(c.Instructions)
+}
+
+// STLBMissRate returns the fraction of loads missing the STLB (Fig. 10a).
+func (c Counters) STLBMissRate() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.STLBMisses) / float64(c.Loads)
+}
+
+// PageWalkFraction returns the fraction of cycles spent on page walks
+// (Fig. 10b).
+func (c Counters) PageWalkFraction(cfg Config) float64 {
+	cy := c.Cycles(cfg)
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.PageWalkCycles) / float64(cy)
+}
+
+// System is one modelled machine instance. Create one per profiled run.
+type System struct {
+	cfg Config
+	l3  []*cache // one shared L3 per socket, mutex-protected
+	l3m []sync.Mutex
+
+	mu      sync.Mutex
+	threads []*Thread
+}
+
+// NewSystem builds a machine from cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.Sockets < 1 {
+		panic("memsim: need at least one socket")
+	}
+	s := &System{cfg: cfg}
+	for i := 0; i < cfg.Sockets; i++ {
+		s.l3 = append(s.l3, newCache(cfg.L3Bytes, cfg.L3Ways, cfg.LineBytes))
+	}
+	s.l3m = make([]sync.Mutex, cfg.Sockets)
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// NewThread registers a probe pinned to the given socket. Threads are not
+// safe for concurrent use; create one per goroutine.
+func (s *System) NewThread(socket int) *Thread {
+	if socket < 0 || socket >= s.cfg.Sockets {
+		panic(fmt.Sprintf("memsim: socket %d out of range", socket))
+	}
+	t := &Thread{
+		sys:    s,
+		socket: socket,
+		l2:     newCache(s.cfg.L2Bytes, s.cfg.L2Ways, s.cfg.LineBytes),
+		stlb:   newCache(s.cfg.STLBEntries*s.cfg.PageBytes, s.cfg.STLBWays, s.cfg.PageBytes),
+	}
+	s.mu.Lock()
+	s.threads = append(s.threads, t)
+	s.mu.Unlock()
+	return t
+}
+
+// Totals sums the counters of every registered thread.
+func (s *System) Totals() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c Counters
+	for _, t := range s.threads {
+		c.Add(t.C)
+	}
+	return c
+}
+
+// PerThread returns a copy of each registered thread's counters, in
+// registration order. The maximum per-thread cycle count is the modelled
+// parallel critical path, from which modelled speedups are derived.
+func (s *System) PerThread() []Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Counters, len(s.threads))
+	for i, t := range s.threads {
+		out[i] = t.C
+	}
+	return out
+}
+
+// MaxThreadCycles returns the modelled critical path: the largest cycle
+// count of any registered thread.
+func (s *System) MaxThreadCycles() int64 {
+	var max int64
+	for _, c := range s.PerThread() {
+		if cy := c.Cycles(s.cfg); cy > max {
+			max = cy
+		}
+	}
+	return max
+}
+
+// Thread is a per-goroutine probe with a private L2 and STLB.
+type Thread struct {
+	sys    *System
+	socket int
+	l2     *cache
+	stlb   *cache
+	C      Counters
+}
+
+// Socket returns the thread's pinned socket.
+func (t *Thread) Socket() int { return t.socket }
+
+// Instr accounts n retired instructions that are not probed loads.
+func (t *Thread) Instr(n int) {
+	t.C.Instructions += int64(n)
+}
+
+// Barrier accounts one synchronisation point: the modelled cycles a thread
+// spends entering and leaving a barrier or fork/join (used by the profiled
+// builds to charge SDSC's per-tile and per-level synchronisation, §4.2.2).
+func (t *Thread) Barrier(cycles int) {
+	t.C.SyncCycles += int64(cycles)
+}
+
+// Load simulates a data load of size bytes at the given (logical) address,
+// touching every cache line it spans.
+func (t *Thread) Load(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	cfg := &t.sys.cfg
+	line := uint64(cfg.LineBytes)
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	for l := first; l <= last; l++ {
+		t.loadLine(l * line)
+	}
+}
+
+func (t *Thread) loadLine(addr uint64) {
+	cfg := &t.sys.cfg
+	t.C.Loads++
+	t.C.Instructions++
+
+	// TLB lookup precedes the cache access.
+	if !t.stlb.access(addr) {
+		t.C.STLBMisses++
+		t.C.PageWalkCycles += int64(cfg.PageWalkCycles)
+	}
+
+	if t.l2.access(addr) {
+		return // L2 hit: latency fully hidden by the pipeline model
+	}
+	t.C.L2Misses++
+
+	sock := t.socket
+	t.sys.l3m[sock].Lock()
+	hitL3 := t.sys.l3[sock].access(addr)
+	t.sys.l3m[sock].Unlock()
+	if hitL3 {
+		// Pending at L2, satisfied from L3.
+		t.C.StallL2Pending += unhidden(cfg.L3HitCycles, cfg.HideFactor)
+		return
+	}
+	t.C.L3Misses++
+	lat := float64(cfg.MemCycles)
+	if homeSocket(addr, cfg) != sock {
+		lat *= cfg.RemoteFactor
+	}
+	t.C.StallL3Pending += unhidden(int(lat), cfg.HideFactor)
+}
+
+// homeSocket interleaves memory pages across sockets, the default Linux
+// policy for shared read-mostly data.
+func homeSocket(addr uint64, cfg *Config) int {
+	if cfg.Sockets == 1 {
+		return 0
+	}
+	return int(addr/uint64(cfg.PageBytes)) % cfg.Sockets
+}
+
+func unhidden(lat int, hide float64) int64 {
+	v := float64(lat) * (1 - hide)
+	if v < 1 {
+		v = 1
+	}
+	return int64(v)
+}
+
+// cache is a set-associative LRU cache of lines (or pages, for the TLB).
+type cache struct {
+	sets      [][]uint64 // tag slices in LRU order (front = MRU)
+	ways      int
+	lineShift uint
+	setMask   uint64
+}
+
+func newCache(bytes, ways, lineBytes int) *cache {
+	if ways < 1 {
+		ways = 1
+	}
+	nSets := bytes / (ways * lineBytes)
+	if nSets < 1 {
+		nSets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	p := 1
+	for p*2 <= nSets {
+		p *= 2
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	sets := make([][]uint64, p)
+	return &cache{sets: sets, ways: ways, lineShift: shift, setMask: uint64(p - 1)}
+}
+
+// access returns true on hit; on miss the line is installed, evicting LRU.
+func (c *cache) access(addr uint64) bool {
+	tag := addr >> c.lineShift
+	idx := tag & c.setMask
+	set := c.sets[idx]
+	for i, t := range set {
+		if t == tag {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = tag
+			return true
+		}
+	}
+	if len(set) < c.ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = tag
+	c.sets[idx] = set
+	return false
+}

@@ -1,0 +1,205 @@
+package memsim
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheHitsOnRepeatedAccess(t *testing.T) {
+	c := newCache(1024, 4, 64)
+	if c.access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.access(0) {
+		t.Error("repeated access should hit")
+	}
+	if !c.access(63) {
+		t.Error("same line should hit")
+	}
+	if c.access(64) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 4 ways, 64-byte lines, 256 bytes => exactly 1 set of 4 ways.
+	c := newCache(256, 4, 64)
+	setsLen := len(c.sets)
+	if setsLen != 1 {
+		t.Fatalf("expected 1 set, got %d", setsLen)
+	}
+	// Fill 4 ways, then access a 5th line: line 0 (LRU) must be evicted.
+	for i := uint64(0); i < 4; i++ {
+		c.access(i * 64)
+	}
+	c.access(4 * 64)
+	if c.access(0) {
+		t.Error("LRU line should have been evicted")
+	}
+	// Probing line 0 re-installed it, evicting the then-LRU line 1; lines
+	// 2–4 must still be resident.
+	if !c.access(4*64) || !c.access(2*64) || !c.access(3*64) {
+		t.Error("recent lines should still be resident")
+	}
+	if c.access(1 * 64) {
+		t.Error("line 1 should have been evicted by the reinstall of line 0")
+	}
+}
+
+func TestThreadCountsMissesAndStalls(t *testing.T) {
+	sys := NewSystem(DefaultConfig(1, true))
+	th := sys.NewThread(0)
+	th.Load(0, 4)
+	c := th.C
+	if c.Loads != 1 || c.L2Misses != 1 || c.L3Misses != 1 {
+		t.Fatalf("cold load: %+v", c)
+	}
+	if c.StallL3Pending == 0 {
+		t.Error("L3 miss should stall")
+	}
+	th.Load(0, 4)
+	if th.C.L2Misses != 1 {
+		t.Error("warm load should hit L2")
+	}
+}
+
+func TestLoadSpansLines(t *testing.T) {
+	sys := NewSystem(DefaultConfig(1, true))
+	th := sys.NewThread(0)
+	th.Load(60, 8) // crosses a 64-byte boundary
+	if th.C.Loads != 2 {
+		t.Errorf("cross-line load counted %d lines, want 2", th.C.Loads)
+	}
+}
+
+func TestL3SharedWithinSocket(t *testing.T) {
+	sys := NewSystem(DefaultConfig(1, true))
+	a := sys.NewThread(0)
+	b := sys.NewThread(0)
+	a.Load(4096, 4)
+	b.Load(4096, 4)
+	// b misses its private L2 but must hit the socket-shared L3.
+	if b.C.L3Misses != 0 {
+		t.Errorf("thread b should hit shared L3: %+v", b.C)
+	}
+	if b.C.L2Misses != 1 {
+		t.Errorf("thread b should miss its private L2: %+v", b.C)
+	}
+}
+
+func TestL3NotSharedAcrossSockets(t *testing.T) {
+	sys := NewSystem(DefaultConfig(2, true))
+	a := sys.NewThread(0)
+	b := sys.NewThread(1)
+	a.Load(4096, 4)
+	b.Load(4096, 4)
+	if b.C.L3Misses != 1 {
+		t.Errorf("remote socket should not see the line: %+v", b.C)
+	}
+}
+
+func TestRemoteMemoryStallsLonger(t *testing.T) {
+	cfg := DefaultConfig(2, true)
+	sys := NewSystem(cfg)
+	th := sys.NewThread(0)
+	local := uint64(0)              // page 0 → home socket 0
+	remote := uint64(cfg.PageBytes) // page 1 → home socket 1
+	th.Load(local, 4)
+	localStall := th.C.StallL3Pending
+	th2 := sys.NewThread(0)
+	th2.Load(remote, 4)
+	if th2.C.StallL3Pending <= localStall {
+		t.Errorf("remote stall %d should exceed local %d", th2.C.StallL3Pending, localStall)
+	}
+}
+
+func TestTLBMissesAndHugePages(t *testing.T) {
+	// Touch 2048 distinct 4 KiB pages: with 4 KiB pages the 1024-entry STLB
+	// thrashes on a second pass; with 2 MiB pages everything fits.
+	touch := func(hugePages bool) Counters {
+		sys := NewSystem(DefaultConfig(1, hugePages))
+		th := sys.NewThread(0)
+		for pass := 0; pass < 2; pass++ {
+			for p := uint64(0); p < 2048; p++ {
+				th.Load(p*4096, 4)
+			}
+		}
+		return th.C
+	}
+	small := touch(false)
+	huge := touch(true)
+	if small.STLBMisses <= huge.STLBMisses {
+		t.Errorf("4K pages should miss more: %d vs %d", small.STLBMisses, huge.STLBMisses)
+	}
+	if huge.STLBMisses > 8 {
+		t.Errorf("huge pages should nearly eliminate misses, got %d", huge.STLBMisses)
+	}
+	if small.PageWalkCycles == 0 {
+		t.Error("page walks should cost cycles")
+	}
+}
+
+func TestCPIGrowsWithStalls(t *testing.T) {
+	cfg := DefaultConfig(1, true)
+	clean := Counters{Instructions: 1000}
+	stalled := Counters{Instructions: 1000, StallL3Pending: 5000}
+	if clean.CPI(cfg) != cfg.BaseCPI {
+		t.Errorf("stall-free CPI = %v, want %v", clean.CPI(cfg), cfg.BaseCPI)
+	}
+	if stalled.CPI(cfg) <= clean.CPI(cfg) {
+		t.Error("stalls must raise CPI")
+	}
+	if (Counters{}).CPI(cfg) != 0 {
+		t.Error("empty counters CPI should be 0")
+	}
+}
+
+func TestCountersRates(t *testing.T) {
+	cfg := DefaultConfig(1, true)
+	c := Counters{Instructions: 100, Loads: 50, STLBMisses: 5, PageWalkCycles: 10}
+	if got := c.STLBMissRate(); got != 0.1 {
+		t.Errorf("STLBMissRate = %v", got)
+	}
+	if (Counters{}).STLBMissRate() != 0 {
+		t.Error("zero loads rate should be 0")
+	}
+	if c.PageWalkFraction(cfg) <= 0 {
+		t.Error("page-walk fraction should be positive")
+	}
+}
+
+func TestTotalsAggregatesThreads(t *testing.T) {
+	sys := NewSystem(DefaultConfig(2, true))
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		for i := 0; i < 4; i++ {
+			th := sys.NewThread(s)
+			wg.Add(1)
+			go func(th *Thread, off uint64) {
+				defer wg.Done()
+				for j := uint64(0); j < 100; j++ {
+					th.Load(off+j*64, 4)
+				}
+				th.Instr(50)
+			}(th, uint64(s)<<30+uint64(i)<<20)
+		}
+	}
+	wg.Wait()
+	tot := sys.Totals()
+	if tot.Loads != 800 {
+		t.Errorf("total loads = %d, want 800", tot.Loads)
+	}
+	if tot.Instructions != 800+8*50 {
+		t.Errorf("total instructions = %d", tot.Instructions)
+	}
+}
+
+func TestNewThreadValidatesSocket(t *testing.T) {
+	sys := NewSystem(DefaultConfig(1, true))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad socket")
+		}
+	}()
+	sys.NewThread(1)
+}

@@ -1,0 +1,73 @@
+package qskycube
+
+import (
+	"reflect"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+)
+
+func TestBuildMatchesDirectComputation(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.Anticorrelated} {
+		ds := gen.Synthetic(dist, 350, 5, 7)
+		for _, threads := range []int{1, 4} {
+			l := Build(ds, Options{Threads: threads})
+			for _, delta := range mask.Subspaces(5) {
+				want := skyline.Compute(ds, nil, delta, skyline.AlgoBNL, 1)
+				if got := l.Skyline(delta); !reflect.DeepEqual(got, want.Skyline) {
+					t.Errorf("%v threads=%d δ=%05b: %v, want %v", dist, threads, delta, got, want.Skyline)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialAndParallelAgree(t *testing.T) {
+	ds := gen.Synthetic(gen.Correlated, 500, 4, 3)
+	seq := Build(ds, Options{Threads: 1})
+	par := Build(ds, Options{Threads: 8})
+	for _, delta := range mask.Subspaces(4) {
+		if !reflect.DeepEqual(seq.Skyline(delta), par.Skyline(delta)) {
+			t.Errorf("δ=%04b: sequential and parallel disagree", delta)
+		}
+		if !reflect.DeepEqual(seq.ExtOnly[delta], par.ExtOnly[delta]) {
+			t.Errorf("δ=%04b: extended sets disagree", delta)
+		}
+	}
+}
+
+func TestPartialBuild(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 200, 5, 9)
+	l := Build(ds, Options{Threads: 2, MaxLevel: 2})
+	for _, delta := range mask.Subspaces(5) {
+		got := l.Skyline(delta)
+		if mask.Count(delta) > 2 {
+			if got != nil {
+				t.Errorf("δ=%b above MaxLevel was materialised", delta)
+			}
+			continue
+		}
+		want := skyline.Compute(ds, nil, delta, skyline.AlgoBNL, 1)
+		if !reflect.DeepEqual(got, want.Skyline) {
+			t.Errorf("δ=%05b: %v, want %v", delta, got, want.Skyline)
+		}
+	}
+}
+
+func TestCuboidProducesBothSets(t *testing.T) {
+	ds := data.FromRows([][]float32{
+		{1, 2}, {2, 1}, {1, 2}, {3, 3},
+	})
+	rows := []int32{0, 1, 2, 3}
+	sky, extOnly := Cuboid(ds, rows, 0b11)
+	if !reflect.DeepEqual(sky, []int32{0, 1, 2}) {
+		t.Errorf("skyline = %v", sky)
+	}
+	// Row 3 is strictly dominated, so it is not even extended-only.
+	if len(extOnly) != 0 {
+		t.Errorf("extOnly = %v, want empty", extOnly)
+	}
+}

@@ -1,0 +1,147 @@
+// Package server exposes a materialised skycube over HTTP, turning the
+// library into the small decision-support service the paper's introduction
+// motivates: the expensive materialisation happens once at startup, after
+// which every subspace skyline — any combination of criteria a user cares
+// about — is a constant-time lookup.
+//
+// Endpoints (all JSON):
+//
+//	GET /info                     dataset and skycube summary
+//	GET /skyline?dims=0,2,5       skyline over the given dimensions
+//	GET /membership?id=17         subspaces in which point 17 is a member
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"skycube"
+)
+
+// Server wraps a built skycube and its dataset.
+type Server struct {
+	cube skycube.Skycube
+	ds   *skycube.Dataset
+	mux  *http.ServeMux
+}
+
+// New builds a handler for a materialised skycube.
+func New(cube skycube.Skycube, ds *skycube.Dataset) *Server {
+	s := &Server{cube: cube, ds: ds, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/info", s.handleInfo)
+	s.mux.HandleFunc("/skyline", s.handleSkyline)
+	s.mux.HandleFunc("/membership", s.handleMembership)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// infoResponse is the /info payload.
+type infoResponse struct {
+	Points    int `json:"points"`
+	Dims      int `json:"dims"`
+	Subspaces int `json:"subspaces"`
+	MaxLevel  int `json:"max_level"`
+	StoredIDs int `json:"stored_ids"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, infoResponse{
+		Points:    s.ds.Len(),
+		Dims:      s.ds.Dims(),
+		Subspaces: len(skycube.AllSubspaces(s.ds.Dims())),
+		MaxLevel:  s.cube.MaxLevel(),
+		StoredIDs: s.cube.IDCount(),
+	})
+}
+
+// skylineResponse is the /skyline payload.
+type skylineResponse struct {
+	Dims     []int       `json:"dims"`
+	Subspace uint32      `json:"subspace"`
+	Count    int         `json:"count"`
+	IDs      []int32     `json:"ids"`
+	Points   [][]float32 `json:"points,omitempty"`
+}
+
+func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	dimSpec := r.URL.Query().Get("dims")
+	if dimSpec == "" {
+		http.Error(w, "missing dims parameter (e.g. dims=0,2,5)", http.StatusBadRequest)
+		return
+	}
+	var dims []int
+	var delta skycube.Subspace
+	for _, part := range strings.Split(dimSpec, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || d < 0 || d >= s.ds.Dims() {
+			http.Error(w, fmt.Sprintf("bad dimension %q (need 0..%d)", part, s.ds.Dims()-1),
+				http.StatusBadRequest)
+			return
+		}
+		dims = append(dims, d)
+		delta |= skycube.SubspaceOf(d)
+	}
+	if skycube.SubspaceSize(delta) > s.cube.MaxLevel() {
+		http.Error(w, fmt.Sprintf("subspace has %d dimensions but only levels ≤ %d are materialised",
+			skycube.SubspaceSize(delta), s.cube.MaxLevel()), http.StatusUnprocessableEntity)
+		return
+	}
+	ids := s.cube.Skyline(delta)
+	resp := skylineResponse{Dims: dims, Subspace: delta, Count: len(ids), IDs: ids}
+	if r.URL.Query().Get("points") == "true" {
+		resp.Points = make([][]float32, len(ids))
+		for i, id := range ids {
+			resp.Points[i] = s.ds.Point(int(id))
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// membershipResponse is the /membership payload.
+type membershipResponse struct {
+	ID        int32    `json:"id"`
+	Subspaces []uint32 `json:"subspaces"`
+	DimLists  [][]int  `json:"dim_lists"`
+}
+
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	idSpec := r.URL.Query().Get("id")
+	id, err := strconv.Atoi(idSpec)
+	if err != nil || id < 0 || id >= s.ds.Len() {
+		http.Error(w, fmt.Sprintf("bad id %q (need 0..%d)", idSpec, s.ds.Len()-1),
+			http.StatusBadRequest)
+		return
+	}
+	subspaces := s.cube.Membership(int32(id))
+	resp := membershipResponse{ID: int32(id), Subspaces: subspaces, DimLists: make([][]int, len(subspaces))}
+	for i, delta := range subspaces {
+		resp.DimLists[i] = skycube.SubspaceDims(delta)
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"skycube"
+)
+
+func newTestServer(t *testing.T, maxLevel int) (*Server, skycube.Skycube, *skycube.Dataset) {
+	t.Helper()
+	ds, err := skycube.DatasetFromRows([][]float32{
+		{12.20, 17, 120},
+		{9.00, 12, 148},
+		{8.20, 13, 169},
+		{21.25, 3, 186},
+		{21.25, 5, 196},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, _, err := skycube.Build(ds, skycube.Options{
+		Algorithm: skycube.MDMC, Threads: 2, MaxLevel: maxLevel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cube, ds), cube, ds
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestInfo(t *testing.T) {
+	s, cube, _ := newTestServer(t, 0)
+	rec := get(t, s, "/info")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp infoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Points != 5 || resp.Dims != 3 || resp.Subspaces != 7 || resp.MaxLevel != 3 {
+		t.Errorf("info = %+v", resp)
+	}
+	if resp.StoredIDs != cube.IDCount() {
+		t.Errorf("stored ids %d != %d", resp.StoredIDs, cube.IDCount())
+	}
+}
+
+func TestSkylineQuery(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	rec := get(t, s, "/skyline?dims=0,1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp skylineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// S3 {Arrival, Duration} = {f1, f2, f3}.
+	if !reflect.DeepEqual(resp.IDs, []int32{1, 2, 3}) || resp.Count != 3 || resp.Subspace != 3 {
+		t.Errorf("skyline = %+v", resp)
+	}
+	if resp.Points != nil {
+		t.Error("points should be omitted unless requested")
+	}
+}
+
+func TestSkylineQueryWithPoints(t *testing.T) {
+	s, _, ds := newTestServer(t, 0)
+	rec := get(t, s, "/skyline?dims=2&points=true")
+	var resp skylineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// S4 {Price} = {f0}.
+	if !reflect.DeepEqual(resp.IDs, []int32{0}) {
+		t.Fatalf("skyline = %+v", resp)
+	}
+	if len(resp.Points) != 1 || resp.Points[0][2] != ds.Point(0)[2] {
+		t.Errorf("points = %v", resp.Points)
+	}
+}
+
+func TestSkylineQueryErrors(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	for path, want := range map[string]int{
+		"/skyline":           http.StatusBadRequest, // no dims
+		"/skyline?dims=":     http.StatusBadRequest,
+		"/skyline?dims=9":    http.StatusBadRequest, // out of range
+		"/skyline?dims=a":    http.StatusBadRequest,
+		"/skyline?dims=0,,1": http.StatusBadRequest,
+	} {
+		if rec := get(t, s, path); rec.Code != want {
+			t.Errorf("%s: status %d, want %d", path, rec.Code, want)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, "/skyline?dims=0", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d", rec.Code)
+	}
+}
+
+func TestSkylineAboveMaxLevel(t *testing.T) {
+	s, _, _ := newTestServer(t, 2)
+	if rec := get(t, s, "/skyline?dims=0,1"); rec.Code != http.StatusOK {
+		t.Errorf("2-d query on level-2 cube: status %d", rec.Code)
+	}
+	if rec := get(t, s, "/skyline?dims=0,1,2"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("3-d query on level-2 cube: status %d", rec.Code)
+	}
+}
+
+func TestMembershipQuery(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	rec := get(t, s, "/membership?id=4")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp membershipResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// f4 is in no subspace skyline.
+	if len(resp.Subspaces) != 0 {
+		t.Errorf("f4 membership = %v, want none", resp.Subspaces)
+	}
+	rec = get(t, s, "/membership?id=2")
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// f2 ∈ S1, S3, S5, S7.
+	if !reflect.DeepEqual(resp.Subspaces, []uint32{1, 3, 5, 7}) {
+		t.Errorf("f2 membership = %v, want [1 3 5 7]", resp.Subspaces)
+	}
+	if len(resp.DimLists) != 4 || !reflect.DeepEqual(resp.DimLists[1], []int{0, 1}) {
+		t.Errorf("dim lists = %v", resp.DimLists)
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	for _, path := range []string{"/membership", "/membership?id=-1", "/membership?id=99", "/membership?id=x"} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}

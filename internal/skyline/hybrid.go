@@ -1,0 +1,204 @@
+package skyline
+
+import (
+	"sort"
+	"sync"
+
+	"skycube/internal/data"
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+// hybridTileSize is α, the number of points processed per tile.
+const hybridTileSize = 512
+
+// hybridFilter is the multicore algorithm in the style of Hybrid (Chester,
+// Šidlauskas, Assent, Bøgh — ICDE 2015; paper §5.1): a compact, fixed
+// two-level, array-based tree of *global* median/quartile pivots replaces
+// the recursive SkyTree, and the input is consumed in tiles so threads
+// cooperate on one shared, read-mostly result structure.
+//
+// Points are ordered by their L1 norm over δ, which guarantees every
+// (strict or non-strict) dominator of a point appears in an earlier tile or
+// in the point's own tile; cross-tile work is the data-parallel hook.
+func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, threads int) []int32 {
+	if threads < 1 {
+		threads = 1
+	}
+	if len(rows) <= hybridTileSize || threads == 1 && len(rows) <= 4*hybridTileSize {
+		return pivotFilter(ds, rows, delta, strict)
+	}
+	dims := mask.Dims(delta)
+
+	// Global two-level labels over only the relevant dimensions (§5.1:
+	// partition on the subspace's dimensions when hooked into a cuboid).
+	med, quart := subspacePivots(ds, rows, dims)
+	n := len(rows)
+	medM := make([]mask.Mask, n)
+	quartM := make([]mask.Mask, n)
+	sum := make([]float32, n)
+	for k, p := range rows {
+		pt := ds.Point(int(p))
+		var m, q mask.Mask
+		var s float32
+		for idx, j := range dims {
+			v := pt[j]
+			s += v
+			half := 1
+			if v < med[idx] {
+				m |= 1 << uint(j)
+				half = 0
+			}
+			if v < quart[half][idx] {
+				q |= 1 << uint(j)
+			}
+		}
+		medM[k], quartM[k], sum[k] = m, q, s
+	}
+
+	// Sort by L1 norm ascending (ties by row for determinism).
+	ord := make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ord[a], ord[b]
+		if sum[ia] != sum[ib] {
+			return sum[ia] < sum[ib]
+		}
+		return rows[ia] < rows[ib]
+	})
+
+	type group struct {
+		med, quart mask.Mask
+		members    []int32 // indices into rows
+	}
+	var groups []group
+	groupIdx := make(map[uint64]int)
+	survivors := make([]int32, 0, n/4)
+
+	alive := make([]bool, hybridTileSize)
+	var wg sync.WaitGroup
+	for tileStart := 0; tileStart < n; tileStart += hybridTileSize {
+		tileEnd := tileStart + hybridTileSize
+		if tileEnd > n {
+			tileEnd = n
+		}
+		tile := ord[tileStart:tileEnd]
+
+		// Phase A (parallel): prune tile points against the global result,
+		// group by group, with label tests before any dominance test.
+		work := func(lo, hi int) {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				k := tile[t]
+				pp := ds.Point(int(rows[k]))
+				mp, qp := medM[k], quartM[k]
+				ok := true
+			groupLoop:
+				for gi := range groups {
+					g := &groups[gi]
+					// Group members are guaranteed strictly worse than the
+					// point on `worse`; if that intersects δ they cannot
+					// dominate it.
+					worse := CompositeStrict2(mp, qp, g.med, g.quart)
+					if worse&delta != 0 {
+						continue
+					}
+					// Conversely, if the group is guaranteed strictly
+					// better on all of δ, the point dies with no DT.
+					better := CompositeStrict2(g.med, g.quart, mp, qp)
+					if better&delta == delta {
+						ok = false
+						break
+					}
+					for _, m := range g.members {
+						r := dom.Compare(ds.Point(int(rows[m])), pp)
+						if kills(r, delta, strict) {
+							ok = false
+							break groupLoop
+						}
+					}
+				}
+				alive[t] = ok
+			}
+		}
+		tlen := len(tile)
+		tn := threads
+		if tn > tlen {
+			tn = tlen
+		}
+		wg.Add(tn)
+		for w := 0; w < tn; w++ {
+			lo := w * tlen / tn
+			hi := (w + 1) * tlen / tn
+			go work(lo, hi)
+		}
+		wg.Wait()
+
+		// Phase B (sequential): intra-tile filtering among survivors. The
+		// L1 order makes earlier tile members the only possible intra-tile
+		// dominators, but BNL handles any order regardless.
+		tileRows := make([]int32, 0, tlen)
+		backref := make(map[int32]int32, tlen)
+		for t := 0; t < tlen; t++ {
+			if alive[t] {
+				r := rows[tile[t]]
+				backref[r] = tile[t]
+				tileRows = append(tileRows, r)
+			}
+		}
+		kept := bnlFilter(ds, tileRows, delta, strict)
+
+		// Append survivors to their (med, quart) group.
+		for _, r := range kept {
+			k := backref[r]
+			key := uint64(medM[k])<<32 | uint64(quartM[k])
+			gi, exists := groupIdx[key]
+			if !exists {
+				gi = len(groups)
+				groups = append(groups, group{med: medM[k], quart: quartM[k]})
+				groupIdx[key] = gi
+			}
+			groups[gi].members = append(groups[gi].members, k)
+			survivors = append(survivors, r)
+		}
+	}
+
+	sort.Slice(survivors, func(a, b int) bool { return survivors[a] < survivors[b] })
+	return survivors
+}
+
+// CompositeStrict2 is the two-level label comparison: the subspace on which
+// any point labelled (medQ, quartQ) is guaranteed strictly better than any
+// point labelled (medP, quartP). Exported for the probe-instrumented
+// variants used in the hardware-counter experiments.
+func CompositeStrict2(medQ, quartQ, medP, quartP mask.Mask) mask.Mask {
+	delta := medQ &^ medP
+	sameHalf := ^(medQ ^ medP)
+	return delta | (quartQ&^quartP)&sameHalf
+}
+
+// subspacePivots computes per-dimension medians and half-relative quartiles
+// over the given rows, restricted to dims.
+func subspacePivots(ds *data.Dataset, rows []int32, dims []int) (med []float32, quart [2][]float32) {
+	med = make([]float32, len(dims))
+	quart[0] = make([]float32, len(dims))
+	quart[1] = make([]float32, len(dims))
+	col := make([]float32, len(rows))
+	for idx, j := range dims {
+		for i, p := range rows {
+			col[i] = ds.Value(int(p), j)
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		n := len(col)
+		med[idx] = col[n/2]
+		quart[0][idx] = col[n/4]
+		q3 := 3 * n / 4
+		if q3 >= n {
+			q3 = n - 1
+		}
+		quart[1][idx] = col[q3]
+	}
+	return med, quart
+}

@@ -1,0 +1,114 @@
+package skyline
+
+import (
+	"reflect"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+)
+
+func TestPSkylineAgreesWithBNL(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.Correlated, gen.Anticorrelated} {
+		ds := gen.Synthetic(dist, 900, 5, 13)
+		for _, delta := range []mask.Mask{1, 0b10101, mask.Full(5)} {
+			ref := Compute(ds, nil, delta, AlgoBNL, 1)
+			got := Compute(ds, nil, delta, AlgoPSkyline, 4)
+			if !reflect.DeepEqual(got.Skyline, ref.Skyline) {
+				t.Errorf("%v δ=%b: PSkyline %d ids != BNL %d ids", dist, delta, len(got.Skyline), len(ref.Skyline))
+			}
+			if !reflect.DeepEqual(got.ExtOnly, ref.ExtOnly) {
+				t.Errorf("%v δ=%b: PSkyline extOnly mismatch", dist, delta)
+			}
+		}
+	}
+}
+
+func TestPSkylineSingleThreadFallsBack(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 300, 4, 7)
+	delta := mask.Full(4)
+	a := Compute(ds, nil, delta, AlgoPSkyline, 1)
+	b := Compute(ds, nil, delta, AlgoBNL, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("single-thread PSkyline should equal BNL")
+	}
+}
+
+func TestPSkylineManyThreadsSmallInput(t *testing.T) {
+	// More threads than sensible for the input size must still be correct.
+	ds := gen.Synthetic(gen.Anticorrelated, 50, 3, 5)
+	delta := mask.Full(3)
+	ref := Compute(ds, nil, delta, AlgoBNL, 1)
+	got := Compute(ds, nil, delta, AlgoPSkyline, 64)
+	if !reflect.DeepEqual(got, ref) {
+		t.Error("PSkyline with excess threads diverged")
+	}
+}
+
+func TestSkyMergeCrossDomination(t *testing.T) {
+	// Regression for the transitive-merge subtlety: a ∈ A dominated by
+	// b ∈ B, where b is itself dominated by a' ∈ A. Both a and b must go.
+	ds := data.FromRows([][]float32{
+		{0.9, 0.9}, // a  (slice A) — dominated by b
+		{0.1, 0.1}, // a' (slice A) — dominates everything
+		{0.5, 0.5}, // b  (slice B) — dominates a, dominated by a'
+		{0.8, 0.7}, // b2 (slice B) — dominated by a'
+	})
+	a := bnlFilter(ds, []int32{0, 1}, 0b11, false)
+	b := bnlFilter(ds, []int32{2, 3}, 0b11, false)
+	merged := skyMerge(ds, a, b, 0b11, false)
+	if len(merged) != 1 || merged[0] != 1 {
+		t.Errorf("skyMerge = %v, want [1]", merged)
+	}
+}
+
+func TestPSkylineOddPartitionCount(t *testing.T) {
+	// Odd reduction-tree width exercises the carry-over branch.
+	ds := gen.Synthetic(gen.Independent, 700, 4, 21)
+	delta := mask.Full(4)
+	ref := Compute(ds, nil, delta, AlgoBNL, 1)
+	got := Compute(ds, nil, delta, AlgoPSkyline, 5)
+	if !reflect.DeepEqual(got, ref) {
+		t.Error("PSkyline with 5 threads diverged")
+	}
+}
+
+func TestPSkylineString(t *testing.T) {
+	if AlgoPSkyline.String() != "PSkyline" {
+		t.Error("label wrong")
+	}
+}
+
+func TestPivotStrategiesAgree(t *testing.T) {
+	for _, dist := range []gen.Distribution{gen.Independent, gen.Anticorrelated, gen.Correlated} {
+		ds := gen.Synthetic(dist, 700, 5, 29)
+		for _, delta := range []mask.Mask{1, 0b10110, mask.Full(5)} {
+			for _, strict := range []bool{false, true} {
+				want := bnlFilter(ds, allRows(ds.N), delta, strict)
+				for _, strat := range []PivotStrategy{PivotMinL1, PivotFirst, PivotMedian} {
+					got := PivotFilterWith(ds, allRows(ds.N), delta, strict, strat)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%v strat=%d δ=%b strict=%v: %d ids != %d ids",
+							dist, strat, delta, strict, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPivotStrategiesOnDuplicates(t *testing.T) {
+	rows := make([][]float32, 300)
+	for i := range rows {
+		rows[i] = []float32{float32(i % 2), float32(i % 2), 0.5}
+	}
+	ds := data.FromRows(rows)
+	want := bnlFilter(ds, allRows(ds.N), 0b111, false)
+	for _, strat := range []PivotStrategy{PivotMinL1, PivotFirst, PivotMedian} {
+		got := PivotFilterWith(ds, allRows(ds.N), 0b111, false, strat)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("strat=%d: duplicates broke pivot filter", strat)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package stree builds the static, globally-pivoted partitioning tree that
+// MDMC shares read-only across all devices (paper §4.3, Fig. 3), and that
+// the Hybrid skyline algorithm uses in its two-level form (paper §5.1).
+//
+// Unlike the recursive trees of BSkyTree/OSP/VMPSP, the pivots here are
+// defined globally — the per-dimension median, quartiles and octiles of the
+// whole input — so a point's complete path is known from its own
+// coordinates without any dominance tests, and the per-level path labels of
+// two points can be compared with pure bitwise operations. The paper adds a
+// third (octile) level to SkyAlign's two so each dimension carries more
+// pruning information in low-dimensional subspaces.
+//
+// Physically, all masks live in flat arrays sorted in leaf order — a
+// reverse lookup from point to tree node — so scans are sequential and, on
+// the GPU device model, coalesced. Only the top median level is kept as a
+// node array with child ranges.
+package stree
+
+import (
+	"fmt"
+	"sort"
+
+	"skycube/internal/data"
+	"skycube/internal/mask"
+)
+
+// Node is a contiguous run of leaf-sorted positions sharing a path label.
+type Node struct {
+	Start, End int32     // half-open range of sorted positions
+	Label      mask.Mask // this level's path label (strictly-below-pivot mask)
+}
+
+// Len returns the number of points under the node.
+func (n Node) Len() int { return int(n.End - n.Start) }
+
+// Tree is the static partitioning tree over a dataset.
+type Tree struct {
+	// Depth is 2 (median+quartile, SkyAlign) or 3 (adds octiles, the
+	// paper's skycube variant).
+	Depth int
+	// Data is the leaf-sorted copy of the input. Data.IDs preserve the
+	// original external ids.
+	Data *data.Dataset
+	// SrcRow[i] is the input row stored at sorted position i.
+	SrcRow []int32
+	// Med, Quart, Oct hold per-sorted-position path labels: bit j of Med[i]
+	// is set iff point i is strictly below the global median on dimension
+	// j; Quart is relative to the point's own half's quartile; Oct (depth-3
+	// only) relative to its own quarter's octile.
+	Med, Quart, Oct []mask.Mask
+	// L1 are the median-level nodes (distinct Med labels); L1Child[k] is
+	// the half-open range of L2 nodes under L1[k]. L2 likewise points into
+	// Leaves. For depth 2, Leaves == L2 ranges with zero Oct labels.
+	L1      []Node
+	L1Child [][2]int32
+	L2      []Node
+	L2Child [][2]int32
+	Leaves  []Node
+
+	// Pivots, retained so unseen points can be routed (tests, queries):
+	// MedPivot[j]; QuartPivot[h][j] for half h; OctPivot[q][j] for quarter q.
+	MedPivot   []float32
+	QuartPivot [2][]float32
+	OctPivot   [4][]float32
+}
+
+// Build constructs a depth-level tree over ds. depth must be 2 or 3.
+func Build(ds *data.Dataset, depth int) *Tree {
+	if depth != 2 && depth != 3 {
+		panic(fmt.Sprintf("stree: depth %d not in {2,3}", depth))
+	}
+	d, n := ds.Dims, ds.N
+	t := &Tree{Depth: depth}
+
+	// Per-dimension order statistics via a single sort per dimension.
+	t.MedPivot = make([]float32, d)
+	t.QuartPivot[0] = make([]float32, d)
+	t.QuartPivot[1] = make([]float32, d)
+	for q := range t.OctPivot {
+		t.OctPivot[q] = make([]float32, d)
+	}
+	col := make([]float32, n)
+	for j := 0; j < d; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = ds.Value(i, j)
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a] < col[b] })
+		t.MedPivot[j] = col[n/2]
+		t.QuartPivot[0][j] = col[n/4]
+		t.QuartPivot[1][j] = col[min(3*n/4, n-1)]
+		t.OctPivot[0][j] = col[n/8]
+		t.OctPivot[1][j] = col[min(3*n/8, n-1)]
+		t.OctPivot[2][j] = col[min(5*n/8, n-1)]
+		t.OctPivot[3][j] = col[min(7*n/8, n-1)]
+	}
+
+	// Route every point: compute its three path labels.
+	med := make([]mask.Mask, n)
+	quart := make([]mask.Mask, n)
+	oct := make([]mask.Mask, n)
+	for i := 0; i < n; i++ {
+		p := ds.Point(i)
+		var m, q, o mask.Mask
+		for j := 0; j < d; j++ {
+			v := p[j]
+			half := 1
+			if v < t.MedPivot[j] {
+				m |= 1 << uint(j)
+				half = 0
+			}
+			quarter := half * 2
+			if v < t.QuartPivot[half][j] {
+				q |= 1 << uint(j)
+			} else {
+				quarter++
+			}
+			if depth == 3 && v < t.OctPivot[quarter][j] {
+				o |= 1 << uint(j)
+			}
+		}
+		med[i], quart[i], oct[i] = m, q, o
+	}
+
+	// Leaf-sort: order points by (med, quart, oct).
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if med[ia] != med[ib] {
+			return med[ia] < med[ib]
+		}
+		if quart[ia] != quart[ib] {
+			return quart[ia] < quart[ib]
+		}
+		return oct[ia] < oct[ib]
+	})
+
+	rows := make([]int, n)
+	for i, r := range order {
+		rows[i] = int(r)
+	}
+	t.SrcRow = order
+	t.Data = ds.Subset(rows)
+	t.Med = make([]mask.Mask, n)
+	t.Quart = make([]mask.Mask, n)
+	t.Oct = make([]mask.Mask, n)
+	for i, r := range order {
+		t.Med[i] = med[r]
+		t.Quart[i] = quart[r]
+		t.Oct[i] = oct[r]
+	}
+
+	t.buildNodes()
+	return t
+}
+
+// buildNodes derives the node ranges from the sorted label arrays.
+func (t *Tree) buildNodes() {
+	n := len(t.Med)
+	for i := 0; i < n; {
+		l1start := i
+		m := t.Med[i]
+		for i < n && t.Med[i] == m {
+			l2start := i
+			q := t.Quart[i]
+			for i < n && t.Med[i] == m && t.Quart[i] == q {
+				leafStart := i
+				o := t.Oct[i]
+				for i < n && t.Med[i] == m && t.Quart[i] == q && t.Oct[i] == o {
+					i++
+				}
+				t.Leaves = append(t.Leaves, Node{Start: int32(leafStart), End: int32(i), Label: o})
+			}
+			_ = l2start
+			t.L2 = append(t.L2, Node{Start: int32(l2start), End: int32(i), Label: q})
+			// L2Child filled below once leaf indices are known.
+		}
+		t.L1 = append(t.L1, Node{Start: int32(l1start), End: int32(i), Label: m})
+	}
+	// Child ranges: walk the node lists matching by position ranges.
+	t.L1Child = make([][2]int32, len(t.L1))
+	t.L2Child = make([][2]int32, len(t.L2))
+	li, l2i := 0, 0
+	for k := range t.L1 {
+		start2 := l2i
+		for l2i < len(t.L2) && t.L2[l2i].End <= t.L1[k].End {
+			startLeaf := li
+			for li < len(t.Leaves) && t.Leaves[li].End <= t.L2[l2i].End {
+				li++
+			}
+			t.L2Child[l2i] = [2]int32{int32(startLeaf), int32(li)}
+			l2i++
+		}
+		t.L1Child[k] = [2]int32{int32(start2), int32(l2i)}
+	}
+}
+
+// StrictBelowMasks returns, for sorted position i, the point's path labels
+// at each level (Oct is zero for depth-2 trees).
+func (t *Tree) StrictBelowMasks(i int) (med, quart, oct mask.Mask) {
+	return t.Med[i], t.Quart[i], t.Oct[i]
+}
+
+// CompositeStrict returns the subspace in which *every* point at sorted
+// position q is guaranteed, from path labels alone, to strictly dominate
+// the point at sorted position p (paper §5.2 / §6.2 filter logic):
+//
+//   - median level: dims where q is below the median and p is not;
+//   - quartile level: dims where the median labels agree (same quartile
+//     pivot) and q is below it while p is not;
+//   - octile level (depth 3): dims where both coarser labels agree and q is
+//     below the octile while p is not.
+//
+// A zero result conveys nothing.
+func (t *Tree) CompositeStrict(q, p int) mask.Mask {
+	mq, mp := t.Med[q], t.Med[p]
+	delta := mq &^ mp
+	sameHalf := ^(mq ^ mp)
+	qq, qp := t.Quart[q], t.Quart[p]
+	delta |= (qq &^ qp) & sameHalf
+	if t.Depth == 3 {
+		sameQuarter := sameHalf & ^(qq ^ qp)
+		delta |= (t.Oct[q] &^ t.Oct[p]) & sameQuarter
+	}
+	return delta
+}
+
+// CompositeStrictLabels is CompositeStrict expressed on raw labels, for
+// callers (the GPU kernels) that stage labels in simulated shared memory.
+func CompositeStrictLabels(medQ, quartQ, octQ, medP, quartP, octP mask.Mask, depth int) mask.Mask {
+	delta := medQ &^ medP
+	sameHalf := ^(medQ ^ medP)
+	delta |= (quartQ &^ quartP) & sameHalf
+	if depth == 3 {
+		sameQuarter := sameHalf & ^(quartQ ^ quartP)
+		delta |= (octQ &^ octP) & sameQuarter
+	}
+	return delta
+}
+
+// CompositeWorse returns the subspace in which every point at sorted
+// position q is guaranteed to be strictly *worse* than p — the mirror image
+// of CompositeStrict, used to prune nodes/leaves that cannot contain a
+// dominator of p.
+func (t *Tree) CompositeWorse(q, p int) mask.Mask {
+	return t.CompositeStrict(p, q)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

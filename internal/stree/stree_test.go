@@ -1,0 +1,239 @@
+package stree
+
+import (
+	"math/rand"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/dom"
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+)
+
+func buildRandom(t *testing.T, n, d, depth int, seed int64) *Tree {
+	t.Helper()
+	ds := gen.Synthetic(gen.Independent, n, d, seed)
+	return Build(ds, depth)
+}
+
+func TestBuildPanicsOnBadDepth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for depth 1")
+		}
+	}()
+	Build(data.New(2, []float32{1, 2}), 1)
+}
+
+func TestLeavesPartitionInput(t *testing.T) {
+	for _, depth := range []int{2, 3} {
+		tr := buildRandom(t, 500, 6, depth, 1)
+		pos := int32(0)
+		for _, lf := range tr.Leaves {
+			if lf.Start != pos {
+				t.Fatalf("depth %d: leaf starts at %d, want %d", depth, lf.Start, pos)
+			}
+			if lf.End <= lf.Start {
+				t.Fatalf("depth %d: empty leaf", depth)
+			}
+			pos = lf.End
+		}
+		if int(pos) != tr.Data.N {
+			t.Fatalf("depth %d: leaves cover %d of %d points", depth, pos, tr.Data.N)
+		}
+	}
+}
+
+func TestNodeHierarchy(t *testing.T) {
+	tr := buildRandom(t, 800, 5, 3, 2)
+	// L1 children ranges tile L2, and L2 children tile Leaves.
+	var l2seen int32
+	for k, n1 := range tr.L1 {
+		c := tr.L1Child[k]
+		if c[0] != l2seen {
+			t.Fatalf("L1[%d] children start at %d, want %d", k, c[0], l2seen)
+		}
+		for i := c[0]; i < c[1]; i++ {
+			n2 := tr.L2[i]
+			if n2.Start < n1.Start || n2.End > n1.End {
+				t.Fatalf("L2[%d] range [%d,%d) outside L1 [%d,%d)", i, n2.Start, n2.End, n1.Start, n1.End)
+			}
+		}
+		l2seen = c[1]
+	}
+	if int(l2seen) != len(tr.L2) {
+		t.Fatalf("L1 children cover %d of %d L2 nodes", l2seen, len(tr.L2))
+	}
+	var leafSeen int32
+	for i, n2 := range tr.L2 {
+		c := tr.L2Child[i]
+		if c[0] != leafSeen {
+			t.Fatalf("L2[%d] leaf children start at %d, want %d", i, c[0], leafSeen)
+		}
+		for k := c[0]; k < c[1]; k++ {
+			lf := tr.Leaves[k]
+			if lf.Start < n2.Start || lf.End > n2.End {
+				t.Fatalf("leaf %d outside its L2 node", k)
+			}
+		}
+		leafSeen = c[1]
+	}
+	if int(leafSeen) != len(tr.Leaves) {
+		t.Fatalf("L2 children cover %d of %d leaves", leafSeen, len(tr.Leaves))
+	}
+}
+
+func TestLabelsMatchPivots(t *testing.T) {
+	tr := buildRandom(t, 1000, 7, 3, 3)
+	d := tr.Data.Dims
+	for i := 0; i < tr.Data.N; i++ {
+		p := tr.Data.Point(i)
+		for j := 0; j < d; j++ {
+			below := p[j] < tr.MedPivot[j]
+			if below != (tr.Med[i]&mask.Bit(j) != 0) {
+				t.Fatalf("point %d dim %d: median label wrong", i, j)
+			}
+			half := 1
+			if below {
+				half = 0
+			}
+			qBelow := p[j] < tr.QuartPivot[half][j]
+			if qBelow != (tr.Quart[i]&mask.Bit(j) != 0) {
+				t.Fatalf("point %d dim %d: quartile label wrong", i, j)
+			}
+			quarter := half * 2
+			if !qBelow {
+				quarter++
+			}
+			oBelow := p[j] < tr.OctPivot[quarter][j]
+			if oBelow != (tr.Oct[i]&mask.Bit(j) != 0) {
+				t.Fatalf("point %d dim %d: octile label wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestLeafGroupsShareLabels(t *testing.T) {
+	tr := buildRandom(t, 600, 4, 3, 4)
+	for _, lf := range tr.Leaves {
+		m, q, o := tr.Med[lf.Start], tr.Quart[lf.Start], tr.Oct[lf.Start]
+		if lf.Label != o {
+			t.Fatalf("leaf label %b != first point oct %b", lf.Label, o)
+		}
+		for i := lf.Start; i < lf.End; i++ {
+			if tr.Med[i] != m || tr.Quart[i] != q || tr.Oct[i] != o {
+				t.Fatal("leaf contains mixed labels")
+			}
+		}
+	}
+}
+
+// The core soundness property: whenever CompositeStrict(q, p) claims a
+// subspace, an exact dominance test must confirm strict dominance there.
+func TestCompositeStrictSound(t *testing.T) {
+	for _, depth := range []int{2, 3} {
+		tr := buildRandom(t, 400, 6, depth, 5)
+		rng := rand.New(rand.NewSource(9))
+		for it := 0; it < 20000; it++ {
+			q, p := rng.Intn(tr.Data.N), rng.Intn(tr.Data.N)
+			delta := tr.CompositeStrict(q, p)
+			if delta == 0 {
+				continue
+			}
+			if !dom.StrictlyDominatesIn(tr.Data.Point(q), tr.Data.Point(p), delta) {
+				t.Fatalf("depth %d: composite mask %b wrong for q=%d p=%d", depth, delta, q, p)
+			}
+		}
+	}
+}
+
+func TestCompositeStrictSelfIsZero(t *testing.T) {
+	tr := buildRandom(t, 300, 5, 3, 6)
+	for i := 0; i < tr.Data.N; i++ {
+		if got := tr.CompositeStrict(i, i); got != 0 {
+			t.Fatalf("CompositeStrict(%d,%d) = %b, want 0", i, i, got)
+		}
+	}
+}
+
+func TestDepth3PrunesAtLeastAsMuchAsDepth2(t *testing.T) {
+	ds := gen.Synthetic(gen.Independent, 500, 6, 7)
+	t2 := Build(ds, 2)
+	t3 := Build(ds, 3)
+	// Compare by original row so the two sorts align.
+	pos2 := make([]int, ds.N)
+	pos3 := make([]int, ds.N)
+	for i, r := range t2.SrcRow {
+		pos2[r] = i
+	}
+	for i, r := range t3.SrcRow {
+		pos3[r] = i
+	}
+	weaker := 0
+	for a := 0; a < 200; a++ {
+		for b := 0; b < 200; b++ {
+			m2 := t2.CompositeStrict(pos2[a], pos2[b])
+			m3 := t3.CompositeStrict(pos3[a], pos3[b])
+			if m3&m2 != m2 {
+				weaker++
+			}
+		}
+	}
+	if weaker != 0 {
+		t.Errorf("depth-3 mask lost information vs depth-2 for %d pairs", weaker)
+	}
+}
+
+func TestCompositeStrictLabelsMatchesMethod(t *testing.T) {
+	tr := buildRandom(t, 300, 6, 3, 8)
+	rng := rand.New(rand.NewSource(10))
+	for it := 0; it < 5000; it++ {
+		q, p := rng.Intn(tr.Data.N), rng.Intn(tr.Data.N)
+		want := tr.CompositeStrict(q, p)
+		got := CompositeStrictLabels(tr.Med[q], tr.Quart[q], tr.Oct[q], tr.Med[p], tr.Quart[p], tr.Oct[p], 3)
+		if got != want {
+			t.Fatalf("label form %b != method form %b", got, want)
+		}
+	}
+}
+
+func TestCompositeWorseMirrors(t *testing.T) {
+	tr := buildRandom(t, 200, 5, 3, 11)
+	rng := rand.New(rand.NewSource(12))
+	for it := 0; it < 2000; it++ {
+		q, p := rng.Intn(tr.Data.N), rng.Intn(tr.Data.N)
+		if tr.CompositeWorse(q, p) != tr.CompositeStrict(p, q) {
+			t.Fatal("CompositeWorse is not the mirror of CompositeStrict")
+		}
+	}
+}
+
+func TestDuplicatePointsShareLeaf(t *testing.T) {
+	// Duplicates must land in the same leaf and produce zero composite
+	// masks against each other.
+	rows := [][]float32{{0.5, 0.5}, {0.5, 0.5}, {0.1, 0.9}, {0.9, 0.1}}
+	tr := Build(data.FromRows(rows), 3)
+	var posA, posB int
+	for i, r := range tr.SrcRow {
+		if r == 0 {
+			posA = i
+		}
+		if r == 1 {
+			posB = i
+		}
+	}
+	if tr.CompositeStrict(posA, posB) != 0 || tr.CompositeStrict(posB, posA) != 0 {
+		t.Error("duplicate points produced non-zero composite mask")
+	}
+}
+
+func TestSrcRowIsPermutation(t *testing.T) {
+	tr := buildRandom(t, 777, 5, 3, 13)
+	seen := make([]bool, tr.Data.N)
+	for _, r := range tr.SrcRow {
+		if seen[r] {
+			t.Fatalf("row %d appears twice", r)
+		}
+		seen[r] = true
+	}
+}

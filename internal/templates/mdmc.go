@@ -1,0 +1,370 @@
+package templates
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skycube/internal/bitset"
+	"skycube/internal/data"
+	"skycube/internal/hashcube"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+	"skycube/internal/stree"
+)
+
+// MDMCOptions configure the point-bitmask template and its CPU kernel.
+type MDMCOptions struct {
+	Options
+	// TreeDepth is 3 (the paper's octile-extended tree) or 2 (SkyAlign's);
+	// 0 defaults to 3. Exposed for the tree-depth ablation.
+	TreeDepth int
+	// FilterLevels is how many tree levels the filter phase reads: the CPU
+	// specialisation uses 2 (top levels stay L2-cache-resident, §5.2); the
+	// GPU one uses all (§6.2). 0 defaults to 2.
+	FilterLevels int
+	// DisableFilter skips the filter phase entirely (refine-only ablation).
+	DisableFilter bool
+	// DisableMemo disables the seen-mask memoisation of refine (ablation of
+	// the O(n·(2^d+n)) improvement, §4.3).
+	DisableMemo bool
+}
+
+// MDMCContext is the shared, read-only state of one MDMC run: the static
+// tree over S⁺(P) and the output HashCube. It is what the template shares
+// across devices (paper §4.3): built once, then consumed by any number of
+// point kernels in parallel.
+type MDMCContext struct {
+	Tree *stree.Tree
+	// OrigRow maps a tree (sorted) position to the input-dataset row id —
+	// the id inserted into the HashCube.
+	OrigRow []int32
+	D       int
+	// MaxLevel is the partial-computation bound d′ (App. A.2): refine skips
+	// verification of subspaces with |δ| > MaxLevel.
+	MaxLevel int
+	Cube     *hashcube.HashCube
+	// ExtRows are the rows of S⁺(P) in the input dataset (ascending).
+	ExtRows []int32
+}
+
+// NumTasks returns the number of data-parallel point tasks, |S⁺(P)|.
+func (c *MDMCContext) NumTasks() int { return c.Tree.Data.N }
+
+// PointKernel processes the point tasks at sorted positions [lo, hi),
+// computing each point's B_{p∉S} and inserting it into ctx.Cube. It is the
+// architecture-specific hook pair (filter + refine) of the MDMC template.
+type PointKernel func(ctx *MDMCContext, lo, hi int)
+
+// PrepareMDMC performs the template's shared prologue (Algorithm 3 line 2):
+// compute S⁺(P) in parallel, then build the static global tree over it.
+func PrepareMDMC(ds *data.Dataset, threads, treeDepth, maxLevel int) *MDMCContext {
+	if treeDepth == 0 {
+		treeDepth = 3
+	}
+	if maxLevel <= 0 || maxLevel > ds.Dims {
+		maxLevel = ds.Dims
+	}
+	full := mask.Full(ds.Dims)
+	ext := skyline.ExtendedSkyline(ds, nil, full, skyline.AlgoHybrid, threads)
+	intRows := make([]int, len(ext))
+	for i, r := range ext {
+		intRows[i] = int(r)
+	}
+	sub := ds.Subset(intRows)
+	tree := stree.Build(sub, treeDepth)
+	orig := make([]int32, len(ext))
+	for pos, subRow := range tree.SrcRow {
+		orig[pos] = ext[subRow]
+	}
+	return &MDMCContext{
+		Tree:     tree,
+		OrigRow:  orig,
+		D:        ds.Dims,
+		MaxLevel: maxLevel,
+		Cube:     hashcube.New(ds.Dims),
+		ExtRows:  ext,
+	}
+}
+
+// RunMDMC drives a kernel over all point tasks with the given worker count,
+// handing out fixed-size chunks from an atomic counter — the template's
+// synchronisation-free data parallelism. OnChunk, if non-nil, is told how
+// many tasks each grab processed (used for device-share accounting).
+func RunMDMC(ctx *MDMCContext, kernel PointKernel, workers int, onChunk func(n int)) {
+	n := ctx.NumTasks()
+	if workers < 1 {
+		workers = 1
+	}
+	const chunk = 64
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				kernel(ctx, lo, hi)
+				if onChunk != nil {
+					onChunk(hi - lo)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MDMCResult is the output of an MDMC build.
+type MDMCResult struct {
+	Cube *hashcube.HashCube
+	// ExtRows are the rows of S⁺(P); every other row is in no subspace
+	// skyline and is therefore absent from the cube.
+	ExtRows []int32
+}
+
+// MDMC is the multicore CPU specialisation of the MDMC template.
+func MDMC(ds *data.Dataset, opt MDMCOptions) *MDMCResult {
+	ctx := PrepareMDMC(ds, opt.threads(), opt.TreeDepth, opt.MaxLevel)
+	RunMDMC(ctx, CPUPointKernel(opt), opt.threads(), nil)
+	return &MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}
+}
+
+// CPUPointKernel returns the CPU filter/refine hook of §5.2. Per point p:
+//
+//   - Filter: walk the top FilterLevels of the tree in a predictable
+//     depth-first order, deriving from path labels alone subspaces in which
+//     some tree node's points strictly dominate p, and set all their
+//     submasks. No data points are loaded.
+//   - Refine: scan the leaves; a leaf is skipped when everything it could
+//     contribute is already known (its optimistic mask is strictly
+//     dominated). Otherwise each leaf point gets one vectorisable DT whose
+//     (B_{q<p}, B_{q=p}) masks are expanded into the solution bitsets,
+//     memoised so each distinct mask is processed once.
+func CPUPointKernel(opt MDMCOptions) PointKernel {
+	filterLevels := opt.FilterLevels
+	if filterLevels == 0 {
+		filterLevels = 2
+	}
+	return func(ctx *MDMCContext, lo, hi int) {
+		k := NewSolution(ctx)
+		for p := lo; p < hi; p++ {
+			k.Reset()
+			if !opt.DisableFilter {
+				k.Filter(p, filterLevels)
+			}
+			k.Refine(p, !opt.DisableMemo)
+			ctx.Cube.Insert(ctx.OrigRow[p], k.NotInS())
+		}
+	}
+}
+
+// Solution is the per-task state of Algorithm 3: the two solution bitmasks
+// B_{p∉S} and B_{p∉S⁺} (2^d − 1 bits each) plus the remaining-subspace
+// counter that provides early exit. On the CPU this is per-worker scratch;
+// the GPU specialisation places it in simulated shared memory and wraps
+// these same updates with device accounting.
+type Solution struct {
+	ctx        *MDMCContext
+	notInS     *bitset.Set // B_{p∉S}: bit δ−1 set iff p dominated in δ
+	notInSPlus *bitset.Set // B_{p∉S⁺}: bit δ−1 set iff p strictly dominated in δ
+	// remaining counts subspaces with |δ| ≤ MaxLevel not yet set in notInS;
+	// when it reaches zero the point's fate is fully decided.
+	remaining int
+	relevant  int // initial value of remaining
+}
+
+// NewSolution allocates task state for one worker of ctx's run.
+func NewSolution(ctx *MDMCContext) *Solution {
+	n := mask.NumSubspaces(ctx.D)
+	relevant := 0
+	if ctx.MaxLevel >= ctx.D {
+		relevant = n
+	} else {
+		for l := 1; l <= ctx.MaxLevel; l++ {
+			relevant += mask.Binomial(ctx.D, l)
+		}
+	}
+	return &Solution{
+		ctx:        ctx,
+		notInS:     bitset.New(n),
+		notInSPlus: bitset.New(n),
+		relevant:   relevant,
+	}
+}
+
+// NotInS exposes the finished B_{p∉S} for HashCube insertion.
+func (k *Solution) NotInS() *bitset.Set { return k.notInS }
+
+// Remaining reports how many relevant subspaces are still undecided.
+func (k *Solution) Remaining() int { return k.remaining }
+
+// StateBytes returns the shared-memory footprint of one task's state: two
+// bitmasks of 2^d − 1 bits (§6.2).
+func StateBytes(d int) int { return 2 * ((1 << uint(d)) / 8) }
+
+// Reset prepares the state for a new point task.
+func (k *Solution) Reset() {
+	k.notInS.Reset()
+	k.notInSPlus.Reset()
+	k.remaining = k.relevant
+}
+
+// setDominated marks p as dominated in δ.
+func (k *Solution) setDominated(delta mask.Mask) {
+	i := int(delta) - 1
+	if !k.notInS.Test(i) {
+		k.notInS.Set(i)
+		if k.ctx.MaxLevel >= k.ctx.D || mask.Count(delta) <= k.ctx.MaxLevel {
+			k.remaining--
+		}
+	}
+}
+
+// SetStrict marks p as strictly dominated in δ and all δ's submasks.
+// Propagation is cut short at masks already known to be strictly dominated.
+func (k *Solution) SetStrict(delta mask.Mask) {
+	if delta == 0 || k.notInSPlus.Test(int(delta)-1) {
+		return
+	}
+	mask.SubmasksOf(delta, func(sub mask.Mask) bool {
+		i := int(sub) - 1
+		if k.notInSPlus.Test(i) {
+			// Already known: the bit tests keep per-submask work to a pair
+			// of word operations.
+			return true
+		}
+		k.notInSPlus.Set(i)
+		k.setDominated(sub)
+		return true
+	})
+}
+
+// Filter is the CPU filter hook (§5.2): iterate the top tree levels
+// depth-first, combining median- and quartile-label information (and octile
+// if levels == 3) into guaranteed-strict-dominance subspaces. Only path
+// labels are read — never data points.
+func (k *Solution) Filter(p int, levels int) {
+	t := k.ctx.Tree
+	medP, quartP, octP := t.Med[p], t.Quart[p], t.Oct[p]
+	for i1 := range t.L1 {
+		n1 := t.L1[i1]
+		// Dims where the node's points are strictly below the median and p
+		// is not: every point of n1 strictly dominates p there.
+		d1 := n1.Label &^ medP
+		sameHalf := ^(n1.Label ^ medP)
+		c := t.L1Child[i1]
+		for i2 := c[0]; i2 < c[1]; i2++ {
+			n2 := t.L2[i2]
+			d2 := (n2.Label &^ quartP) & sameHalf
+			total := d1 | d2
+			if levels >= 3 && t.Depth == 3 {
+				sameQuarter := sameHalf & ^(n2.Label ^ quartP)
+				lc := t.L2Child[i2]
+				for li := lc[0]; li < lc[1]; li++ {
+					lf := t.Leaves[li]
+					d3 := (lf.Label &^ octP) & sameQuarter
+					k.SetStrict(total | d3)
+				}
+				continue
+			}
+			k.SetStrict(total)
+		}
+	}
+}
+
+// FilterLeafScan is the GPU-style filter (§6.2): a sequential scan of all
+// leaves deriving the full three-level composite mask for each, which is
+// stronger than the CPU's two-level filter but does more work. OnLeaf, if
+// non-nil, is called per leaf for device accounting.
+func (k *Solution) FilterLeafScan(p int, onLeaf func(leafLen int)) {
+	t := k.ctx.Tree
+	for _, lf := range t.Leaves {
+		if onLeaf != nil {
+			onLeaf(lf.Len())
+		}
+		k.SetStrict(t.CompositeStrict(int(lf.Start), p))
+	}
+}
+
+// Refine is the refine hook: leaf scan with label-based skipping, exact
+// DTs, and seen-mask memoisation. OnLeaf/OnDT, if non-nil, are called for
+// device accounting (leaf visits and dominance tests respectively).
+func (k *Solution) Refine(p int, memo bool) {
+	k.RefineInstrumented(p, memo, nil, nil)
+}
+
+// RefineInstrumented is Refine with accounting callbacks.
+func (k *Solution) RefineInstrumented(p int, memo bool, onLeaf func(skipped bool), onDT func()) {
+	t := k.ctx.Tree
+	ds := t.Data
+	pp := ds.Point(p)
+	full := mask.Full(k.ctx.D)
+	for _, lf := range t.Leaves {
+		if k.remaining == 0 {
+			return
+		}
+		// Optimistic mask: dims on which leaf points might be ≤ p. If p is
+		// already strictly dominated there, nothing new can come from this
+		// leaf (every contribution is one of its submasks).
+		optimistic := full &^ t.CompositeStrict(p, int(lf.Start))
+		skip := optimistic == 0 || (memo && k.notInSPlus.Test(int(optimistic)-1))
+		if onLeaf != nil {
+			onLeaf(skip)
+		}
+		if skip {
+			continue
+		}
+		for q := int(lf.Start); q < int(lf.End); q++ {
+			if q == p {
+				continue
+			}
+			if onDT != nil {
+				onDT()
+			}
+			k.ApplyDT(ds.Point(q), pp, full, memo)
+			if k.remaining == 0 {
+				return
+			}
+		}
+	}
+}
+
+// ApplyDT performs one exact dominance test of q against p and folds the
+// resulting masks into the solution bitsets:
+//
+//   - every submask of B_{q<p} is strictly dominated;
+//   - every submask δ of B_{q≤p} with at least one strict bit is dominated.
+func (k *Solution) ApplyDT(qq, pp []float32, full mask.Mask, memo bool) {
+	var lt, eq mask.Mask
+	for i := range pp {
+		if qq[i] < pp[i] {
+			lt |= 1 << uint(i)
+		} else if qq[i] == pp[i] {
+			eq |= 1 << uint(i)
+		}
+	}
+	m := (lt | eq) & full
+	if m == 0 || lt == 0 {
+		return // q beats p nowhere, or only ties: no dominance anywhere
+	}
+	if memo && k.notInSPlus.Test(int(m)-1) {
+		// p is strictly dominated in m, so every submask of m is already
+		// recorded in both bitsets: q conveys no new information (§4.3).
+		return
+	}
+	k.SetStrict(lt)
+	// Non-strict contributions: submasks of m that intersect lt.
+	mask.SubmasksOf(m, func(sub mask.Mask) bool {
+		if sub&lt != 0 {
+			k.setDominated(sub)
+		}
+		return true
+	})
+}

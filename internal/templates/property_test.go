@@ -1,0 +1,122 @@
+package templates
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"skycube/internal/data"
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+// Property: for arbitrary low-cardinality data, each point's solution
+// bitmask B_{p∉S} produced by the MDMC kernel equals the brute-force
+// dominance computation over every subspace — the end-to-end invariant of
+// Algorithm 3.
+func TestQuickSolutionBitmaskMatchesBruteForce(t *testing.T) {
+	f := func(raw []byte, d8 uint8) bool {
+		d := int(d8%3) + 2 // 2..4 dims
+		n := len(raw) / d
+		if n < 3 {
+			return true
+		}
+		vals := make([]float32, n*d)
+		for i := range vals {
+			vals[i] = float32(raw[i] % 5)
+		}
+		ds := data.New(d, vals)
+		res := MDMC(ds, MDMCOptions{Options: Options{Threads: 2}})
+
+		// Brute force: for every subspace, which rows are dominated?
+		for _, delta := range mask.Subspaces(d) {
+			var want []int32
+			for p := 0; p < n; p++ {
+				dominated := false
+				for q := 0; q < n && !dominated; q++ {
+					if p == q {
+						continue
+					}
+					if dom.RelDominates(dom.Compare(ds.Point(q), ds.Point(p)), delta) {
+						dominated = true
+					}
+				}
+				if !dominated {
+					want = append(want, int32(p))
+				}
+			}
+			if got := res.Cube.Skyline(delta); !reflect.DeepEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(v []reflect.Value, rng *rand.Rand) {
+			raw := make([]byte, 20+rng.Intn(150))
+			rng.Read(raw)
+			v[0] = reflect.ValueOf(raw)
+			v[1] = reflect.ValueOf(uint8(rng.Intn(256)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the filter phase alone never sets a bit that the full
+// computation would not — it is a sound under-approximation (mask-only
+// claims are always confirmed by DTs).
+func TestQuickFilterIsSound(t *testing.T) {
+	f := func(raw []byte) bool {
+		const d = 4
+		n := len(raw) / d
+		if n < 4 {
+			return true
+		}
+		vals := make([]float32, n*d)
+		for i := range vals {
+			vals[i] = float32(raw[i]) / 16
+		}
+		ds := data.New(d, vals)
+		ctx := PrepareMDMC(ds, 1, 3, 0)
+		sol := NewSolution(ctx)
+		for p := 0; p < ctx.NumTasks(); p++ {
+			sol.Reset()
+			sol.Filter(p, 2)
+			pp := ctx.Tree.Data.Point(p)
+			for delta := 1; delta <= mask.NumSubspaces(d); delta++ {
+				if !sol.NotInS().Test(delta - 1) {
+					continue
+				}
+				// Claimed strictly dominated in δ: verify with brute force.
+				strict := false
+				for q := 0; q < ctx.Tree.Data.N && !strict; q++ {
+					if q == p {
+						continue
+					}
+					if dom.StrictlyDominatesIn(ctx.Tree.Data.Point(q), pp, mask.Mask(delta)) {
+						strict = true
+					}
+				}
+				if !strict {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 30,
+		Values: func(v []reflect.Value, rng *rand.Rand) {
+			raw := make([]byte, 24+rng.Intn(160))
+			rng.Read(raw)
+			v[0] = reflect.ValueOf(raw)
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
