@@ -301,3 +301,25 @@ func BenchmarkAblationHookPSkyline(b *testing.B) {
 		}
 	}
 }
+
+// --- Observability: nil-trace fast path ------------------------------------
+
+// BenchmarkObsMDMCTraceOff measures an MDMC build with no trace attached —
+// the baseline for the < 2% instrumentation-overhead criterion; compare
+// with BenchmarkObsMDMCTraceOn.
+func BenchmarkObsMDMCTraceOff(b *testing.B) {
+	buildBench(b, skycube.Options{Algorithm: skycube.MDMC, Threads: 4})
+}
+
+// BenchmarkObsMDMCTraceOn measures the same build with span recording live.
+func BenchmarkObsMDMCTraceOn(b *testing.B) {
+	ds := benchDataset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := skycube.Options{Algorithm: skycube.MDMC, Threads: 4, Trace: skycube.NewTrace()}
+		if _, _, err := skycube.Build(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,23 +4,35 @@
 // Usage:
 //
 //	skycubed -algo MDMC -threads 8 [-gpus 1] [-cpu-also] [-max-level 4] \
-//	         [-query 0,2 -query 1] data.txt
-//	skycubed -serve :8080 data.txt
+//	         [-trace build.json] [-progress] [-query 0,2 -query 1] data.txt
+//	skycubed -serve :8080 [-pprof] data.txt
 //
 // With no -query flags it prints summary statistics; each -query flag names
 // a subspace as a comma-separated dimension list and prints its skyline.
 // With -serve, the built skycube is exposed over HTTP (GET /info,
-// /skyline?dims=0,2, /membership?id=17).
+// /skyline?dims=0,2, /membership?id=17, plus /buildinfo, /metrics and
+// /trace); the server drains in-flight requests and exits cleanly on
+// SIGINT/SIGTERM. -trace writes the build's span timeline as Chrome
+// trace_event JSON (open in about://tracing or ui.perfetto.dev); -progress
+// reports build progress on stderr; -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the serving mux.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"skycube"
 	"skycube/internal/server"
@@ -43,6 +55,9 @@ func main() {
 	var queries queryList
 	flag.Var(&queries, "query", "subspace to print, as comma-separated dimension indices (repeatable)")
 	serve := flag.String("serve", "", "address to serve the skycube over HTTP (e.g. :8080)")
+	traceFile := flag.String("trace", "", "write the build trace as Chrome trace_event JSON to this file")
+	progress := flag.Bool("progress", false, "report build progress on stderr")
+	pprofFlag := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -80,6 +95,15 @@ func main() {
 	for i := 0; i < *gpus; i++ {
 		opt.GPUs = append(opt.GPUs, skycube.GTX980)
 	}
+	if *traceFile != "" || *serve != "" {
+		opt.Trace = skycube.NewTrace()
+	}
+	if *serve != "" {
+		opt.Metrics = skycube.NewMetrics()
+	}
+	if *progress {
+		opt.Progress = stderrProgress()
+	}
 	cube, stats, err := skycube.Build(ds, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)
@@ -96,12 +120,16 @@ func main() {
 		fmt.Printf("  %-8s %8d tasks (%.1f%%)\n", sh.Name, sh.Tasks, sh.Fraction*100)
 	}
 
-	if *serve != "" {
-		fmt.Printf("serving on %s (GET /info, /skyline?dims=0,2, /membership?id=17)\n", *serve)
-		if err := http.ListenAndServe(*serve, server.New(cube, ds)); err != nil {
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, opt.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "skycubed:", err)
 			os.Exit(1)
 		}
+		fmt.Printf("wrote build trace (%d spans) to %s\n", opt.Trace.Len(), *traceFile)
+	}
+
+	if *serve != "" {
+		runServer(*serve, cube, ds, opt, stats, algo, *pprofFlag)
 		return
 	}
 	if len(queries) == 0 {
@@ -118,6 +146,92 @@ func main() {
 		ids := cube.Skyline(delta)
 		fmt.Printf("skyline of dims {%s} (δ=%d): %d points: %v\n", q, delta, len(ids), ids)
 	}
+}
+
+// runServer serves the cube until SIGINT/SIGTERM, then drains in-flight
+// requests for up to ten seconds before exiting.
+func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
+	opt skycube.Options, stats skycube.Stats, algo skycube.Algorithm, withPprof bool) {
+	srv := server.NewWith(cube, ds, server.Options{
+		BuildInfo: &server.BuildInfo{
+			Algorithm:       algo.String(),
+			Points:          ds.Len(),
+			Dims:            ds.Dims(),
+			MaxLevel:        cube.MaxLevel(),
+			ElapsedSeconds:  stats.Elapsed.Seconds(),
+			Shares:          stats.Shares,
+			GPUModelSeconds: stats.GPUModelSeconds,
+		},
+		Metrics: opt.Metrics,
+		Trace:   opt.Trace,
+		Logger:  log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+	})
+	if withPprof {
+		srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+		srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving on %s (GET /info, /skyline?dims=0,2, /membership?id=17, /buildinfo, /metrics, /trace)\n", addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "skycubed: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed: shutdown:", err)
+		os.Exit(1)
+	}
+}
+
+// stderrProgress returns a ProgressFunc that overwrites one stderr line,
+// throttled so concurrent build workers don't flood the terminal.
+func stderrProgress() skycube.ProgressFunc {
+	var last atomic.Int64
+	return func(p skycube.Progress) {
+		done, total := p.CuboidsDone, p.TotalCuboids
+		unit := "cuboids"
+		if p.Algorithm == skycube.MDMC {
+			done, total, unit = p.PointsDone, p.TotalPoints, "points"
+		}
+		now := time.Now().UnixMilli()
+		prev := last.Load()
+		// One update per 100 ms, plus always the final one.
+		if done < total && (now-prev < 100 || !last.CompareAndSwap(prev, now)) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\rskycubed: %s %d/%d %s", p.Algorithm, done, total, unit)
+		if done >= total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// writeTrace dumps the trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *skycube.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSubspace(spec string, d int) (skycube.Subspace, error) {

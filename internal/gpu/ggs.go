@@ -9,6 +9,7 @@ import (
 	"skycube/internal/gpusim"
 	"skycube/internal/lattice"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 )
 
@@ -144,8 +145,18 @@ func ggsFilter(dev *gpusim.Device, ds *data.Dataset, rows []int32, delta mask.Ma
 
 // SDSCWithGGS runs the SDSC template on one device with the GGS hook.
 func SDSCWithGGS(ds *data.Dataset, dev *gpusim.Device, maxLevel int, stats *StatsCollector) *lattice.Lattice {
+	return SDSCWithGGSTraced(ds, dev, maxLevel, stats, nil, nil)
+}
+
+// SDSCWithGGSTraced is SDSCWithGGS with span recording and a completed-
+// cuboid callback.
+func SDSCWithGGSTraced(ds *data.Dataset, dev *gpusim.Device, maxLevel int,
+	stats *StatsCollector, tr *obs.Trace, onCuboid func(delta mask.Mask)) *lattice.Lattice {
 	return lattice.TopDown(ds, CuboidHookGGS(dev, stats), lattice.TopDownOptions{
 		CuboidThreads: 1,
 		MaxLevel:      maxLevel,
+		Trace:         tr,
+		TrackPrefix:   dev.Name,
+		OnCuboid:      onCuboid,
 	})
 }

@@ -12,15 +12,18 @@
 package hetero
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skycube/internal/data"
 	"skycube/internal/gpu"
 	"skycube/internal/gpusim"
 	"skycube/internal/lattice"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 	"skycube/internal/templates"
 )
@@ -29,6 +32,12 @@ import (
 // lo == hi when the queue is exhausted.
 type Grab func(size int) (lo, hi int)
 
+// AccountFunc reports one completed chunk of n point tasks that took dur
+// on the device's lane (a CPU worker index, or 0 for a single-puller GPU).
+// The duration lets the scheduler back-date a trace span for the chunk, so
+// cross-device runs yield a Figure-12-style per-device work timeline.
+type AccountFunc func(lane, n int, dur time.Duration)
+
 // Device is one compute unit participating in a cross-device run.
 type Device interface {
 	// Name identifies the device in work-share reports.
@@ -36,8 +45,8 @@ type Device interface {
 	// Cuboid computes one SDSC task: S_δ and S⁺_δ\S_δ over rows of ds.
 	Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) (sky, extOnly []int32)
 	// RunPoints consumes MDMC point chunks via grab until exhaustion,
-	// reporting each completed chunk size to account.
-	RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int))
+	// reporting each completed chunk (with its wall time) to account.
+	RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc)
 }
 
 // CPUDevice is the multicore CPU as a device: Hybrid for cuboids, the §5.2
@@ -77,23 +86,24 @@ func (c *CPUDevice) Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) ([]i
 const cpuPointChunk = 64
 
 // RunPoints implements Device: every core is an independent puller.
-func (c *CPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int)) {
+func (c *CPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc) {
 	kernel := templates.CPUPointKernel(c.MDMCOpt)
 	var wg sync.WaitGroup
 	n := c.threads()
 	wg.Add(n)
 	for w := 0; w < n; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo, hi := grab(cpuPointChunk)
 				if lo >= hi {
 					return
 				}
+				start := time.Now()
 				kernel(ctx, lo, hi)
-				account(hi - lo)
+				account(w, hi-lo, time.Since(start))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -128,15 +138,16 @@ const gpuPointChunk = 256
 
 // RunPoints implements Device: one puller that turns each chunk into a
 // block-per-point kernel launch.
-func (g *GPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account func(n int)) {
+func (g *GPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc) {
 	kernel := gpu.PointKernel(g.Dev, g.Stats)
 	for {
 		lo, hi := grab(gpuPointChunk)
 		if lo >= hi {
 			return
 		}
+		start := time.Now()
 		kernel(ctx, lo, hi)
-		account(hi - lo)
+		account(0, hi-lo, time.Since(start))
 	}
 }
 
@@ -198,6 +209,15 @@ type DeviceShare struct {
 // level, devices pull cuboids from a shared queue, so k devices compute k
 // cuboids concurrently (Figure 2b with multiple devices).
 func SDSCAll(ds *data.Dataset, devices []Device, maxLevel int) (*lattice.Lattice, *Shares) {
+	return SDSCAllTraced(ds, devices, maxLevel, nil, nil)
+}
+
+// SDSCAllTraced is SDSCAll recording each cuboid as a span on its device's
+// track (plus per-level barrier spans), and reporting every completed
+// cuboid to onCuboid for progress accounting. Both tr and onCuboid may be
+// nil.
+func SDSCAllTraced(ds *data.Dataset, devices []Device, maxLevel int, tr *obs.Trace,
+	onCuboid func(delta mask.Mask)) (*lattice.Lattice, *Shares) {
 	shares := NewShares()
 	pool := make(chan Device, len(devices))
 	for _, d := range devices {
@@ -206,13 +226,22 @@ func SDSCAll(ds *data.Dataset, devices []Device, maxLevel int) (*lattice.Lattice
 	hook := func(ds *data.Dataset, rows []int32, delta mask.Mask) ([]int32, []int32) {
 		dev := <-pool
 		defer func() { pool <- dev }()
+		var h obs.SpanHandle
+		if tr != nil {
+			h = tr.Begin(dev.Name(), obs.CatCuboid, fmt.Sprintf("δ=%0*b", ds.Dims, uint32(delta)))
+			h.SetN(int64(len(rows)))
+		}
 		sky, extOnly := dev.Cuboid(ds, rows, delta)
+		h.End()
 		shares.Add(dev.Name(), 1)
 		return sky, extOnly
 	}
 	l := lattice.TopDown(ds, hook, lattice.TopDownOptions{
-		CuboidThreads: len(devices),
-		MaxLevel:      maxLevel,
+		CuboidThreads:       len(devices),
+		MaxLevel:            maxLevel,
+		Trace:               tr,
+		SuppressCuboidSpans: true,
+		OnCuboid:            onCuboid,
 	})
 	return l, shares
 }
@@ -221,7 +250,18 @@ func SDSCAll(ds *data.Dataset, devices []Device, maxLevel int) (*lattice.Lattice
 // HashCube are built once; devices then drain the point-task queue
 // concurrently with no further synchronisation (§4.3).
 func MDMCAll(ds *data.Dataset, devices []Device, prepThreads, maxLevel int) (*templates.MDMCResult, *Shares) {
-	ctx := templates.PrepareMDMC(ds, prepThreads, 3, maxLevel)
+	return MDMCAllTraced(ds, devices, prepThreads, maxLevel, nil, nil)
+}
+
+// MDMCAllTraced is MDMCAll recording the prologue phases and one span per
+// completed chunk grab on the owning device's track — the raw data of a
+// Figure-12 work-share timeline. A device's CPU workers beyond lane 0
+// record on sub-tracks "NAME#lane". onChunk, if non-nil, is told the size
+// of every completed chunk plus the total task count |S⁺(P)| (progress
+// accounting). Both may be nil.
+func MDMCAllTraced(ds *data.Dataset, devices []Device, prepThreads, maxLevel int,
+	tr *obs.Trace, onChunk func(n, total int)) (*templates.MDMCResult, *Shares) {
+	ctx := templates.PrepareMDMCTraced(ds, prepThreads, 3, maxLevel, tr)
 	shares := NewShares()
 	n := ctx.NumTasks()
 	var next int64
@@ -241,11 +281,40 @@ func MDMCAll(ds *data.Dataset, devices []Device, prepThreads, maxLevel int) (*te
 	for _, d := range devices {
 		go func(dev Device) {
 			defer wg.Done()
-			dev.RunPoints(ctx, grab, func(k int) { shares.Add(dev.Name(), int64(k)) })
+			name := dev.Name()
+			dev.RunPoints(ctx, grab, func(lane, k int, dur time.Duration) {
+				shares.Add(name, int64(k))
+				if tr != nil {
+					tr.Record(ChunkTrack(name, lane), obs.CatChunk, "points", dur, int64(k))
+				}
+				if onChunk != nil {
+					onChunk(k, n)
+				}
+			})
 		}(d)
 	}
 	wg.Wait()
 	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares
+}
+
+// ChunkTrack names the trace track for a device lane: the device name for
+// lane 0, "NAME#lane" for the extra CPU worker lanes. DeviceOfTrack is its
+// inverse.
+func ChunkTrack(name string, lane int) string {
+	if lane == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d", name, lane)
+}
+
+// DeviceOfTrack strips the "#lane" suffix off a chunk track name.
+func DeviceOfTrack(track string) string {
+	for i := 0; i < len(track); i++ {
+		if track[i] == '#' {
+			return track[:i]
+		}
+	}
+	return track
 }
 
 // DefaultEcosystem reproduces the paper's test machine as devices: the two

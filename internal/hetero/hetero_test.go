@@ -7,6 +7,7 @@ import (
 	"skycube/internal/gen"
 	"skycube/internal/gpusim"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 )
 
@@ -142,6 +143,70 @@ func TestSDSCAllPartial(t *testing.T) {
 		want := skyline.Compute(ds, nil, delta, skyline.AlgoBNL, 1)
 		if !reflect.DeepEqual(got, want.Skyline) {
 			t.Errorf("δ=%06b: %v, want %v", delta, got, want.Skyline)
+		}
+	}
+}
+
+func TestTwoDeviceSharesMatchTrace(t *testing.T) {
+	// Deterministic setup: two single-threaded CPU devices drain the MDMC
+	// queue. The fractions must sum to 1.0 and the per-device task counts
+	// must equal the chunk sizes the trace recorded for that device.
+	ds := gen.Synthetic(gen.Anticorrelated, 6000, 6, 13)
+	devices := []Device{
+		&CPUDevice{Threads: 1, Label: "dev-a"},
+		&CPUDevice{Threads: 1, Label: "dev-b"},
+	}
+	tr := obs.New()
+	res, shares := MDMCAllTraced(ds, devices, 2, 0, tr, nil)
+
+	// The queue is dynamic, so the split between the devices varies run to
+	// run; the invariants are that the fractions cover the whole queue and
+	// that every device's share equals what its trace track recorded.
+	fr := shares.Fractions()
+	if len(fr) == 0 {
+		t.Fatal("no device contributed")
+	}
+	sum := 0.0
+	for _, f := range fr {
+		sum += f.Fraction
+	}
+	if sum < 0.9999 || sum > 1.0001 {
+		t.Errorf("fractions sum to %v, want 1.0", sum)
+	}
+	if shares.Total() != int64(len(res.ExtRows)) {
+		t.Errorf("total tasks %d != |S⁺(P)| = %d", shares.Total(), len(res.ExtRows))
+	}
+
+	// Group chunk spans by device and compare N sums with the shares.
+	traced := map[string]int64{}
+	for _, s := range tr.Spans() {
+		if s.Cat == obs.CatChunk {
+			traced[DeviceOfTrack(s.Track)] += s.N
+		}
+	}
+	for _, f := range fr {
+		if traced[f.Name] != f.Tasks {
+			t.Errorf("device %s: trace says %d points, shares say %d",
+				f.Name, traced[f.Name], f.Tasks)
+		}
+	}
+}
+
+func TestChunkTrackRoundTrip(t *testing.T) {
+	for _, c := range []struct {
+		name  string
+		lane  int
+		track string
+	}{
+		{"CPU0", 0, "CPU0"},
+		{"CPU0", 3, "CPU0#3"},
+		{"980-1", 0, "980-1"},
+	} {
+		if got := ChunkTrack(c.name, c.lane); got != c.track {
+			t.Errorf("ChunkTrack(%s, %d) = %s, want %s", c.name, c.lane, got, c.track)
+		}
+		if got := DeviceOfTrack(c.track); got != c.name {
+			t.Errorf("DeviceOfTrack(%s) = %s, want %s", c.track, got, c.name)
 		}
 	}
 }

@@ -7,11 +7,13 @@
 package lattice
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"skycube/internal/data"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 )
 
 // Lattice is a materialised skycube: Sky[δ] is the sorted id list of S_δ
@@ -119,6 +121,18 @@ type TopDownOptions struct {
 	// ablation of the min-cardinality parent selection on line 5 of
 	// Algorithms 1–2.
 	FirstParent bool
+	// Trace, if non-nil, records one span per lattice level (the template's
+	// synchronisation barriers) and one span per cuboid, on a track per
+	// traversal worker. Nil costs one pointer test per cuboid.
+	Trace *obs.Trace
+	// TrackPrefix names the worker tracks in the trace ("lattice" by
+	// default; the cross-device scheduler substitutes device names at the
+	// hook layer instead and leaves this alone).
+	TrackPrefix string
+	// SuppressCuboidSpans keeps level spans but drops per-cuboid spans —
+	// set by the cross-device scheduler, whose hook records each cuboid on
+	// its *device's* track instead of a traversal-worker track.
+	SuppressCuboidSpans bool
 }
 
 // TopDown materialises the skycube of ds with the level-synchronised
@@ -138,6 +152,12 @@ func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice 
 		threads = 1
 	}
 
+	tr := opt.Trace
+	prefix := opt.TrackPrefix
+	if prefix == "" {
+		prefix = "lattice"
+	}
+
 	all := make([]int32, ds.N)
 	for i := range all {
 		all[i] = int32(i)
@@ -149,18 +169,30 @@ func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice 
 	} else {
 		// Partial skycube: compute S⁺ of the full space once as the reduced
 		// input for level maxLevel, without materialising levels above it.
+		h := tr.Begin(prefix+"-0", obs.CatCuboid, "S⁺(P)")
+		h.SetN(int64(len(all)))
 		sky, extOnly := compute(ds, all, mask.Full(d))
+		h.End()
 		topInput = mergeSorted(sky, extOnly)
 	}
 
 	for level := maxLevel; level >= 1; level-- {
 		cuboids := mask.Level(d, level)
-		run := func(delta mask.Mask) {
+		lh := tr.Begin("levels", obs.CatLevel, fmt.Sprintf("level %d", level))
+		lh.SetN(int64(len(cuboids)))
+		run := func(worker int, delta mask.Mask) {
 			rows := topInput
 			if level < maxLevel {
 				rows = inputRows(l, delta, opt.FirstParent)
 			}
+			var ch obs.SpanHandle
+			if tr != nil && !opt.SuppressCuboidSpans {
+				ch = tr.Begin(fmt.Sprintf("%s-%d", prefix, worker), obs.CatCuboid,
+					fmt.Sprintf("δ=%0*b", d, uint32(delta)))
+				ch.SetN(int64(len(rows)))
+			}
 			sky, extOnly := compute(ds, rows, delta)
+			ch.End()
 			l.Sky[delta] = sky
 			l.ExtOnly[delta] = extOnly
 			if opt.OnCuboid != nil {
@@ -169,8 +201,9 @@ func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice 
 		}
 		if threads == 1 || len(cuboids) == 1 {
 			for _, delta := range cuboids {
-				run(delta)
+				run(0, delta)
 			}
+			lh.End()
 			continue
 		}
 		// Level-parallel: cuboids are independent; synchronise per level.
@@ -182,18 +215,19 @@ func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice 
 		}
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					i := atomic.AddInt64(&next, 1) - 1
 					if i >= int64(len(cuboids)) {
 						return
 					}
-					run(cuboids[i])
+					run(w, cuboids[i])
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
+		lh.End()
 	}
 	return l
 }

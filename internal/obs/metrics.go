@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric families — counters, gauges and histograms,
+// optionally labelled — and serialises them in the Prometheus text
+// exposition format. Metric handles are get-or-create: the same
+// (name, labels) pair always returns the same instance, so hot paths can
+// resolve a handle once and update it with a single atomic operation.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	buckets         []float64 // histograms only
+	mu              sync.Mutex
+	series          map[string]any // rendered label string -> *Counter etc.
+	order           []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// labelString renders variadic key/value pairs as a stable, escaped
+// Prometheus label block ("" for no labels).
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(p.v)
+		fmt.Fprintf(&b, `%s="%s"`, p.k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(key string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter is a monotonically increasing float64.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (v must be ≥ 0).
+func (c *Counter) Add(v float64) {
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	upper  []float64 // ascending upper bounds (excluding +Inf)
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    Gauge
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{upper: buckets, counts: make([]atomic.Int64, len(buckets))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, b := range h.upper {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefBuckets are latency buckets in seconds, spanning 100 µs to ~100 s —
+// wide enough for both a skyline lookup and a full skycube build.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1,
+	.25, .5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// CounterM returns the counter for (name, labels), creating it on first
+// use. Labels are alternating key/value pairs.
+func (r *Registry) CounterM(name, help string, labels ...string) *Counter {
+	f := r.family(name, help, "counter", nil)
+	return f.get(labelString(labels), func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeM returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) GaugeM(name, help string, labels ...string) *Gauge {
+	f := r.family(name, help, "gauge", nil)
+	return f.get(labelString(labels), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramM returns the histogram for (name, labels), creating it on
+// first use with the family's bucket bounds (DefBuckets if buckets is nil
+// on first registration).
+func (r *Registry) HistogramM(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.family(name, help, "histogram", buckets)
+	return f.get(labelString(labels), func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// WritePrometheus serialises every family in the text exposition format,
+// families sorted by name, series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		series := make(map[string]any, len(f.series))
+		for k, v := range f.series {
+			series[k] = v
+		}
+		f.mu.Unlock()
+		for _, key := range order {
+			if err := writeSeries(w, f, key, series[key]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, key string, s any) error {
+	switch m := s.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %v\n", f.name, key, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %v\n", f.name, key, m.Value())
+		return err
+	case *Histogram:
+		// Cumulative buckets, then +Inf, sum and count, with the le label
+		// merged into any existing label block.
+		var cum int64
+		for i, ub := range m.upper {
+			cum += m.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, mergeLabel(key, "le", formatBound(ub)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, mergeLabel(key, "le", "+Inf"), m.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", f.name, key, m.Sum()); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, key, m.Count())
+		return err
+	}
+	return nil
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: the
+// shortest representation that round-trips.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// mergeLabel inserts k="v" into an existing rendered label block.
+func mergeLabel(block, k, v string) string {
+	pair := fmt.Sprintf(`%s="%s"`, k, v)
+	if block == "" {
+		return "{" + pair + "}"
+	}
+	return block[:len(block)-1] + "," + pair + "}"
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterM("builds_total", "number of builds")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %v", c.Value())
+	}
+	if r.CounterM("builds_total", "") != c {
+		t.Error("get-or-create should return the same instance")
+	}
+	g := r.GaugeM("temp", "", "device", "980-1")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if g.Value() != 1 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterM("n", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramM("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="0.1"} 1`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 56.05`,
+		`lat_count 5`,
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusOutputLabelsAndOrder(t *testing.T) {
+	r := NewRegistry()
+	r.CounterM("tasks_total", "tasks per device", "device", "CPU0").Add(10)
+	r.CounterM("tasks_total", "", "device", "980-1").Add(20)
+	r.GaugeM("alpha", "a gauge").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `tasks_total{device="CPU0"} 10`) ||
+		!strings.Contains(out, `tasks_total{device="980-1"} 20`) {
+		t.Errorf("label output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP tasks_total tasks per device") {
+		t.Errorf("missing help:\n%s", out)
+	}
+	// Families sort by name: alpha before tasks_total.
+	if strings.Index(out, "alpha") > strings.Index(out, "tasks_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if err := (*Registry)(nil).WritePrometheus(&buf); err != nil {
+		t.Errorf("nil registry write: %v", err)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterM("m", "", "path", `a"b\c`).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `m{path="a\"b\\c"} 1`) {
+		t.Errorf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestMistypedFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterM("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type mismatch")
+		}
+	}()
+	r.GaugeM("x", "")
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	h := tr.Begin("x", CatChunk, "nop")
+	h.SetN(7)
+	h.End()
+	tr.Record("x", CatChunk, "nop", time.Millisecond, 1)
+	if tr.Len() != 0 || tr.Spans() != nil || tr.Now() != 0 {
+		t.Fatal("nil trace should record nothing")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil-trace chrome export is not valid JSON: %v", err)
+	}
+}
+
+func TestBeginEndRecordsSpan(t *testing.T) {
+	tr := New()
+	h := tr.Begin("cpu-0", CatCuboid, "δ=101")
+	h.SetN(42)
+	time.Sleep(time.Millisecond)
+	h.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Track != "cpu-0" || s.Cat != CatCuboid || s.Name != "δ=101" || s.N != 42 {
+		t.Errorf("span = %+v", s)
+	}
+	if s.Dur < time.Millisecond/2 {
+		t.Errorf("dur = %v, want ≥ ~1ms", s.Dur)
+	}
+}
+
+func TestRecordBackdates(t *testing.T) {
+	tr := New()
+	time.Sleep(2 * time.Millisecond)
+	tr.Record("980-1", CatChunk, "points", time.Millisecond, 256)
+	s := tr.Spans()[0]
+	if s.Dur != s.End()-s.Start {
+		t.Errorf("end arithmetic wrong: %+v", s)
+	}
+	if s.Start < 0 || s.Dur <= 0 {
+		t.Errorf("backdated span = %+v", s)
+	}
+	// A duration longer than the trace's lifetime clamps to the epoch.
+	tr.Record("980-1", CatChunk, "clamped", time.Hour, 1)
+	for _, sp := range tr.Spans() {
+		if sp.Start < 0 {
+			t.Errorf("span starts before epoch: %+v", sp)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h := tr.Begin("w", CatChunk, "c")
+				h.SetN(1)
+				h.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != goroutines*perG {
+		t.Fatalf("recorded %d spans, want %d", tr.Len(), goroutines*perG)
+	}
+	var n int64
+	for _, s := range tr.Spans() {
+		n += s.N
+	}
+	if n != goroutines*perG {
+		t.Fatalf("span N sum = %d", n)
+	}
+}
+
+func TestSpansSortedAndTracks(t *testing.T) {
+	tr := New()
+	tr.Record("b", CatChunk, "x", time.Microsecond, 0)
+	tr.Record("a", CatChunk, "y", time.Microsecond, 0)
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %v", tracks)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tr := New()
+	// Two overlapping spans covering [0, 10ms) and [5ms, 20ms) of a 20ms
+	// total: full coverage despite overlap.
+	tr.record(Span{Track: "t", Cat: CatLevel, Name: "a", Start: 0, Dur: 10 * time.Millisecond})
+	tr.record(Span{Track: "t", Cat: CatLevel, Name: "b", Start: 5 * time.Millisecond, Dur: 15 * time.Millisecond})
+	if c := tr.Coverage(CatLevel, 20*time.Millisecond); c < 0.999 {
+		t.Errorf("coverage = %v, want ~1", c)
+	}
+	// A gap in [10, 15) leaves 75%.
+	tr2 := New()
+	tr2.record(Span{Cat: CatLevel, Start: 0, Dur: 10 * time.Millisecond})
+	tr2.record(Span{Cat: CatLevel, Start: 15 * time.Millisecond, Dur: 5 * time.Millisecond})
+	if c := tr2.Coverage("", 20*time.Millisecond); c < 0.74 || c > 0.76 {
+		t.Errorf("coverage = %v, want 0.75", c)
+	}
+	if c := (*Trace)(nil).Coverage("", time.Second); c != 0 {
+		t.Errorf("nil coverage = %v", c)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New()
+	h := tr.Begin("CPU0", CatCuboid, "δ=11")
+	h.SetN(3)
+	h.End()
+	tr.Record("980-1", CatChunk, "points", time.Millisecond, 256)
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	names := map[string]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name == "thread_name" {
+				names[ev.Args["name"].(string)] = true
+			}
+		case "X":
+			complete++
+			if ev.TID == 0 {
+				t.Errorf("complete event with unassigned tid: %+v", ev)
+			}
+		}
+	}
+	if complete != 2 {
+		t.Errorf("complete events = %d, want 2", complete)
+	}
+	if !names["CPU0"] || !names["980-1"] {
+		t.Errorf("thread names = %v", names)
+	}
+}
+
+// BenchmarkSpanNilTrace measures the nil-trace fast path: the cost an
+// instrumented hot path pays when tracing is off.
+func BenchmarkSpanNilTrace(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := tr.Begin("w", CatChunk, "c")
+		h.SetN(64)
+		h.End()
+	}
+}
+
+// BenchmarkSpanActiveTrace is the comparison point with tracing on.
+func BenchmarkSpanActiveTrace(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := tr.Begin("w", CatChunk, "c")
+		h.SetN(64)
+		h.End()
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"skycube/internal/data"
 	"skycube/internal/lattice"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 )
 
@@ -25,6 +26,10 @@ type Options struct {
 	Threads int
 	// MaxLevel restricts materialisation to |δ| ≤ MaxLevel (App. A.2).
 	MaxLevel int
+	// Trace, if non-nil, records level and cuboid spans.
+	Trace *obs.Trace
+	// OnCuboid, if non-nil, is called after each cuboid completes.
+	OnCuboid func(delta mask.Mask)
 }
 
 // Build materialises the skycube of ds as a lattice.
@@ -32,6 +37,9 @@ func Build(ds *data.Dataset, opt Options) *lattice.Lattice {
 	return lattice.TopDown(ds, Cuboid, lattice.TopDownOptions{
 		CuboidThreads: opt.Threads,
 		MaxLevel:      opt.MaxLevel,
+		Trace:         opt.Trace,
+		TrackPrefix:   "qsc",
+		OnCuboid:      opt.OnCuboid,
 	})
 }
 

@@ -4,42 +4,131 @@
 // which every subspace skyline — any combination of criteria a user cares
 // about — is a constant-time lookup.
 //
-// Endpoints (all JSON):
+// Endpoints (JSON unless noted):
 //
 //	GET /info                     dataset and skycube summary
 //	GET /skyline?dims=0,2,5       skyline over the given dimensions
 //	GET /membership?id=17         subspaces in which point 17 is a member
+//	GET /buildinfo                how the cube was built (algorithm, timings, shares)
+//	GET /metrics                  Prometheus text exposition of the registry
+//	GET /trace                    Chrome trace_event JSON of the build trace
+//
+// /metrics and /trace only exist when the Server is constructed with
+// NewWith and the corresponding Options field is set. Every request flows
+// through a middleware that records per-endpoint latency histograms and
+// request counters into the same registry, and optionally logs.
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"skycube"
+	"skycube/internal/obs"
 )
+
+// BuildInfo describes how the served skycube was constructed; it is the
+// /buildinfo payload.
+type BuildInfo struct {
+	Algorithm       string                `json:"algorithm"`
+	Points          int                   `json:"points"`
+	Dims            int                   `json:"dims"`
+	MaxLevel        int                   `json:"max_level"`
+	ElapsedSeconds  float64               `json:"elapsed_seconds"`
+	Shares          []skycube.DeviceShare `json:"shares,omitempty"`
+	GPUModelSeconds []float64             `json:"gpu_model_seconds,omitempty"`
+}
+
+// Options configure the optional observability surface of a Server.
+type Options struct {
+	// BuildInfo, if non-nil, enables GET /buildinfo.
+	BuildInfo *BuildInfo
+	// Metrics, if non-nil, enables GET /metrics and receives the request
+	// middleware's counters and latency histograms. Sharing the registry
+	// the build wrote into puts build and serving metrics on one page.
+	Metrics *obs.Registry
+	// Trace, if non-nil, enables GET /trace, serving the build trace as
+	// Chrome trace_event JSON.
+	Trace *obs.Trace
+	// Logger, if non-nil, logs one line per request (method, path, status,
+	// duration).
+	Logger *log.Logger
+}
 
 // Server wraps a built skycube and its dataset.
 type Server struct {
 	cube skycube.Skycube
 	ds   *skycube.Dataset
 	mux  *http.ServeMux
+	opt  Options
 }
 
-// New builds a handler for a materialised skycube.
+// New builds a handler for a materialised skycube with no observability
+// extras — the original three endpoints only.
 func New(cube skycube.Skycube, ds *skycube.Dataset) *Server {
-	s := &Server{cube: cube, ds: ds, mux: http.NewServeMux()}
+	return NewWith(cube, ds, Options{})
+}
+
+// NewWith builds a handler with the requested observability surface.
+func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
+	s := &Server{cube: cube, ds: ds, mux: http.NewServeMux(), opt: opt}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/skyline", s.handleSkyline)
 	s.mux.HandleFunc("/membership", s.handleMembership)
+	if opt.BuildInfo != nil {
+		s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
+	}
+	if opt.Metrics != nil {
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if opt.Trace != nil {
+		s.mux.HandleFunc("/trace", s.handleTrace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// Handle mounts an extra handler on the server's mux (e.g. pprof).
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
+// statusWriter captures the response code for the request middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler: the middleware around the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if s.opt.Metrics == nil && s.opt.Logger == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	path := r.URL.Path
+	if s.opt.Metrics != nil {
+		s.opt.Metrics.CounterM("http_requests_total", "HTTP requests served.",
+			"path", path, "code", strconv.Itoa(sw.status)).Inc()
+		s.opt.Metrics.HistogramM("http_request_duration_seconds",
+			"HTTP request latency.", nil, "path", path).Observe(dur.Seconds())
+	}
+	if s.opt.Logger != nil {
+		s.opt.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sw.status, dur)
+	}
 }
 
 // infoResponse is the /info payload.
@@ -63,6 +152,32 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		MaxLevel:  s.cube.MaxLevel(),
 		StoredIDs: s.cube.IDCount(),
 	})
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.opt.BuildInfo)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opt.Metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.opt.Trace.WriteChrome(w)
 }
 
 // skylineResponse is the /skyline payload.
@@ -90,6 +205,11 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		d, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || d < 0 || d >= s.ds.Dims() {
 			http.Error(w, fmt.Sprintf("bad dimension %q (need 0..%d)", part, s.ds.Dims()-1),
+				http.StatusBadRequest)
+			return
+		}
+		if delta&skycube.SubspaceOf(d) != 0 {
+			http.Error(w, fmt.Sprintf("duplicate dimension %d in dims=%s", d, dimSpec),
 				http.StatusBadRequest)
 			return
 		}
@@ -139,9 +259,15 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// writeJSON encodes to a buffer first so an encoding failure can still
+// produce a clean 500: encoding straight to w would have committed a 200
+// and a partial body before the error surfaced.
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
 }

@@ -1,13 +1,17 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 
 	"skycube"
+	"skycube/internal/obs"
 )
 
 func newTestServer(t *testing.T, maxLevel int) (*Server, skycube.Skycube, *skycube.Dataset) {
@@ -156,5 +160,139 @@ func TestMembershipErrors(t *testing.T) {
 		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", path, rec.Code)
 		}
+	}
+}
+
+func TestSkylineDuplicateDims(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	for _, path := range []string{"/skyline?dims=1,1", "/skyline?dims=0,2,0"} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+	// Distinct dims still work.
+	if rec := get(t, s, "/skyline?dims=1,0"); rec.Code != http.StatusOK {
+		t.Errorf("dims=1,0: status %d", rec.Code)
+	}
+}
+
+func newObsServer(t *testing.T) (*Server, *obs.Registry, *obs.Trace) {
+	t.Helper()
+	ds, err := skycube.DatasetFromRows([][]float32{
+		{1, 4, 2}, {3, 1, 5}, {2, 3, 1}, {5, 5, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := skycube.NewMetrics()
+	tr := skycube.NewTrace()
+	cube, stats, err := skycube.Build(ds, skycube.Options{
+		Algorithm: skycube.MDMC, Threads: 2, Metrics: reg, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWith(cube, ds, Options{
+		BuildInfo: &BuildInfo{
+			Algorithm:      "MDMC",
+			Points:         ds.Len(),
+			Dims:           ds.Dims(),
+			MaxLevel:       cube.MaxLevel(),
+			ElapsedSeconds: stats.Elapsed.Seconds(),
+		},
+		Metrics: reg,
+		Trace:   tr,
+	})
+	return s, reg, tr
+}
+
+func TestBuildInfoEndpoint(t *testing.T) {
+	s, _, _ := newObsServer(t)
+	rec := get(t, s, "/buildinfo")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var info BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Algorithm != "MDMC" || info.Points != 4 || info.Dims != 3 {
+		t.Errorf("buildinfo = %+v", info)
+	}
+
+	// A plain New server has no /buildinfo.
+	plain, _, _ := newTestServer(t, 0)
+	if rec := get(t, plain, "/buildinfo"); rec.Code != http.StatusNotFound {
+		t.Errorf("plain server /buildinfo: status %d, want 404", rec.Code)
+	}
+}
+
+func TestMetricsEndpointAndMiddleware(t *testing.T) {
+	s, _, _ := newObsServer(t)
+	// Generate traffic the middleware should count.
+	get(t, s, "/info")
+	get(t, s, "/skyline?dims=0")
+	get(t, s, "/skyline?dims=notadim")
+
+	rec := get(t, s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`skycube_builds_total{algorithm="MDMC"} 1`,
+		`http_requests_total{code="200",path="/info"} 1`,
+		`http_requests_total{code="400",path="/skyline"} 1`,
+		`http_request_duration_seconds_bucket`,
+		`http_request_duration_seconds_count{path="/skyline"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	s, _, tr := newObsServer(t)
+	rec := get(t, s, "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	if tr.Len() == 0 || len(doc.TraceEvents) < tr.Len() {
+		t.Errorf("%d events for %d spans", len(doc.TraceEvents), tr.Len())
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	ds, err := skycube.DatasetFromRows([][]float32{{1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.MDMC, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	s := NewWith(cube, ds, Options{Logger: log.New(&logBuf, "", 0)})
+	get(t, s, "/info")
+	get(t, s, "/membership?id=99")
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d lines: %q", len(lines), logBuf.String())
+	}
+	if !strings.HasPrefix(lines[0], "GET /info 200") {
+		t.Errorf("log line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "GET /membership?id=99 400") {
+		t.Errorf("log line %q", lines[1])
 	}
 }

@@ -1,6 +1,7 @@
 package templates
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"skycube/internal/data"
 	"skycube/internal/hashcube"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 	"skycube/internal/stree"
 )
@@ -27,6 +29,9 @@ type MDMCOptions struct {
 	// DisableMemo disables the seen-mask memoisation of refine (ablation of
 	// the O(n·(2^d+n)) improvement, §4.3).
 	DisableMemo bool
+	// OnChunk, if non-nil, is told how many point tasks each completed
+	// chunk processed (progress reporting and metrics).
+	OnChunk func(n int)
 }
 
 // MDMCContext is the shared, read-only state of one MDMC run: the static
@@ -58,6 +63,13 @@ type PointKernel func(ctx *MDMCContext, lo, hi int)
 // PrepareMDMC performs the template's shared prologue (Algorithm 3 line 2):
 // compute S⁺(P) in parallel, then build the static global tree over it.
 func PrepareMDMC(ds *data.Dataset, threads, treeDepth, maxLevel int) *MDMCContext {
+	return PrepareMDMCTraced(ds, threads, treeDepth, maxLevel, nil)
+}
+
+// PrepareMDMCTraced is PrepareMDMC recording the prologue's two phases —
+// the parallel extended-skyline computation and the static tree build — as
+// spans on the "prepare" track.
+func PrepareMDMCTraced(ds *data.Dataset, threads, treeDepth, maxLevel int, tr *obs.Trace) *MDMCContext {
 	if treeDepth == 0 {
 		treeDepth = 3
 	}
@@ -65,17 +77,23 @@ func PrepareMDMC(ds *data.Dataset, threads, treeDepth, maxLevel int) *MDMCContex
 		maxLevel = ds.Dims
 	}
 	full := mask.Full(ds.Dims)
+	h := tr.Begin("prepare", obs.CatPrepare, "extended-skyline")
+	h.SetN(int64(ds.N))
 	ext := skyline.ExtendedSkyline(ds, nil, full, skyline.AlgoHybrid, threads)
+	h.End()
 	intRows := make([]int, len(ext))
 	for i, r := range ext {
 		intRows[i] = int(r)
 	}
+	h = tr.Begin("prepare", obs.CatPrepare, "static-tree")
+	h.SetN(int64(len(ext)))
 	sub := ds.Subset(intRows)
 	tree := stree.Build(sub, treeDepth)
 	orig := make([]int32, len(ext))
 	for pos, subRow := range tree.SrcRow {
 		orig[pos] = ext[subRow]
 	}
+	h.End()
 	return &MDMCContext{
 		Tree:     tree,
 		OrigRow:  orig,
@@ -91,6 +109,13 @@ func PrepareMDMC(ds *data.Dataset, threads, treeDepth, maxLevel int) *MDMCContex
 // synchronisation-free data parallelism. OnChunk, if non-nil, is told how
 // many tasks each grab processed (used for device-share accounting).
 func RunMDMC(ctx *MDMCContext, kernel PointKernel, workers int, onChunk func(n int)) {
+	RunMDMCTraced(ctx, kernel, workers, nil, onChunk)
+}
+
+// RunMDMCTraced is RunMDMC recording one span per completed chunk on a
+// per-worker track ("cpu-0", "cpu-1", …). With a nil trace the only cost
+// over RunMDMC is a pointer test per chunk.
+func RunMDMCTraced(ctx *MDMCContext, kernel PointKernel, workers int, tr *obs.Trace, onChunk func(n int)) {
 	n := ctx.NumTasks()
 	if workers < 1 {
 		workers = 1
@@ -100,8 +125,12 @@ func RunMDMC(ctx *MDMCContext, kernel PointKernel, workers int, onChunk func(n i
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var track string
+			if tr != nil {
+				track = fmt.Sprintf("cpu-%d", w)
+			}
 			for {
 				lo := int(atomic.AddInt64(&next, chunk)) - chunk
 				if lo >= n {
@@ -111,12 +140,18 @@ func RunMDMC(ctx *MDMCContext, kernel PointKernel, workers int, onChunk func(n i
 				if hi > n {
 					hi = n
 				}
+				var h obs.SpanHandle
+				if tr != nil {
+					h = tr.Begin(track, obs.CatChunk, "points")
+					h.SetN(int64(hi - lo))
+				}
 				kernel(ctx, lo, hi)
+				h.End()
 				if onChunk != nil {
 					onChunk(hi - lo)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -131,8 +166,8 @@ type MDMCResult struct {
 
 // MDMC is the multicore CPU specialisation of the MDMC template.
 func MDMC(ds *data.Dataset, opt MDMCOptions) *MDMCResult {
-	ctx := PrepareMDMC(ds, opt.threads(), opt.TreeDepth, opt.MaxLevel)
-	RunMDMC(ctx, CPUPointKernel(opt), opt.threads(), nil)
+	ctx := PrepareMDMCTraced(ds, opt.threads(), opt.TreeDepth, opt.MaxLevel, opt.Trace)
+	RunMDMCTraced(ctx, CPUPointKernel(opt), opt.threads(), opt.Trace, opt.OnChunk)
 	return &MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}
 }
 

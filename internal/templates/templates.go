@@ -26,6 +26,7 @@ import (
 	"skycube/internal/data"
 	"skycube/internal/lattice"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/skyline"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// MaxLevel restricts materialisation to |δ| ≤ MaxLevel (App. A.2);
 	// 0 means the full skycube.
 	MaxLevel int
+	// Trace, if non-nil, records level and cuboid spans (see internal/obs).
+	Trace *obs.Trace
+	// OnCuboid, if non-nil, is called after each cuboid completes — the
+	// hook progress reporting and metrics ride on.
+	OnCuboid func(delta mask.Mask)
 }
 
 func (o Options) threads() int {
@@ -51,6 +57,9 @@ func STSCTemplate(ds *data.Dataset, hook lattice.CuboidFunc, opt Options) *latti
 	return lattice.TopDown(ds, hook, lattice.TopDownOptions{
 		CuboidThreads: opt.threads(),
 		MaxLevel:      opt.MaxLevel,
+		Trace:         opt.Trace,
+		TrackPrefix:   "stsc",
+		OnCuboid:      opt.OnCuboid,
 	})
 }
 
@@ -61,6 +70,9 @@ func SDSCTemplate(ds *data.Dataset, hook lattice.CuboidFunc, opt Options) *latti
 	return lattice.TopDown(ds, hook, lattice.TopDownOptions{
 		CuboidThreads: 1,
 		MaxLevel:      opt.MaxLevel,
+		Trace:         opt.Trace,
+		TrackPrefix:   "sdsc",
+		OnCuboid:      opt.OnCuboid,
 	})
 }
 

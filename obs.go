@@ -1,0 +1,56 @@
+package skycube
+
+import (
+	"skycube/internal/obs"
+)
+
+// Trace records typed spans of a build — build → level → cuboid for the
+// lattice algorithms, prologue phases and per-device chunk grabs for MDMC —
+// with monotonic timestamps. Pass one in Options.Trace, then export it with
+// WriteChrome (Chrome trace_event JSON, loadable in about://tracing or
+// ui.perfetto.dev) to see a per-device work timeline in the style of the
+// paper's Figure 12.
+//
+// A nil *Trace is valid everywhere and records nothing; the instrumented
+// hot paths pay only a pointer test ("nil-trace fast path", benchmarked in
+// bench_test.go).
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace whose epoch is now.
+func NewTrace() *Trace { return obs.New() }
+
+// Metrics is a registry of counters, gauges and histograms that Build
+// populates (build totals, per-device task shares, modelled GPU counters)
+// and the HTTP server serialises at GET /metrics in the Prometheus text
+// format. A single registry may be shared across builds and with the
+// server; counters accumulate, gauges reflect the latest build.
+type Metrics = obs.Registry
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Progress is a snapshot of a running build, delivered to
+// Options.Progress.
+type Progress struct {
+	// Algorithm is the build's algorithm.
+	Algorithm Algorithm
+	// Level is the lattice level of the cuboid that just finished (0 for
+	// MDMC, which has no levels).
+	Level int
+	// CuboidsDone / TotalCuboids count materialised cuboids (lattice
+	// algorithms; both 0 for MDMC).
+	CuboidsDone, TotalCuboids int
+	// PointsDone counts completed MDMC point tasks (0 for the lattice
+	// algorithms). The total, |S⁺(P)|, is itself a result of the build's
+	// prologue, so it is not reported here; it is len(Stats.Shares) tasks
+	// summed, or TotalPoints when known.
+	PointsDone int
+	// TotalPoints is |S⁺(P)| when known, 0 otherwise.
+	TotalPoints int
+}
+
+// ProgressFunc receives Progress snapshots during Build. It is called from
+// build worker goroutines — one call per completed cuboid or point chunk —
+// so it must be cheap and concurrency-safe. Long builds are no longer
+// silent: wire this to a logger or progress bar.
+type ProgressFunc func(Progress)

@@ -1,0 +1,184 @@
+package skycube
+
+import (
+	"encoding/json"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"skycube/internal/hetero"
+	"skycube/internal/obs"
+)
+
+// TestBuildTraceCoverage checks the tentpole acceptance criterion: a traced
+// MDMC build emits spans whose build-category union covers ≥ 99% of
+// Stats.Elapsed, and the Chrome export is valid JSON.
+func TestBuildTraceCoverage(t *testing.T) {
+	ds := GenerateSynthetic(Anticorrelated, 2000, 6, 11)
+	tr := NewTrace()
+	_, stats, err := Build(ds, Options{Algorithm: MDMC, Threads: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("trace recorded no spans")
+	}
+	if cov := tr.Coverage(obs.CatBuild, stats.Elapsed); cov < 0.99 {
+		t.Errorf("build span covers %.4f of Elapsed, want ≥ 0.99", cov)
+	}
+	var buf strings.Builder
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < tr.Len() {
+		t.Errorf("Chrome export has %d events for %d spans", len(doc.TraceEvents), tr.Len())
+	}
+	// The prepare phases and the per-worker chunk tracks must be present.
+	tracks := map[string]bool{}
+	for _, trk := range tr.Tracks() {
+		tracks[trk] = true
+	}
+	if !tracks["build"] || !tracks["prepare"] || !tracks["cpu-0"] {
+		t.Errorf("missing expected tracks in %v", tr.Tracks())
+	}
+}
+
+// TestBuildTraceLattice smoke-tests span recording on the lattice paths.
+func TestBuildTraceLattice(t *testing.T) {
+	ds := GenerateSynthetic(Independent, 500, 5, 4)
+	for _, algo := range []Algorithm{STSC, SDSC, PQSkycube, QSkycube} {
+		tr := NewTrace()
+		_, stats, err := Build(ds, Options{Algorithm: algo, Threads: 2, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := tr.Spans()
+		var cuboids int
+		for _, s := range spans {
+			if s.Cat == obs.CatCuboid {
+				cuboids++
+			}
+		}
+		// One span per non-empty subspace of a 5-d space.
+		if want := 31; cuboids != want {
+			t.Errorf("%v: %d cuboid spans, want %d", algo, cuboids, want)
+		}
+		if cov := tr.Coverage(obs.CatBuild, stats.Elapsed); cov < 0.99 {
+			t.Errorf("%v: build coverage %.4f", algo, cov)
+		}
+	}
+}
+
+// TestBuildTraceCrossDevice smoke-tests the hetero paths: spans land on
+// device-named tracks.
+func TestBuildTraceCrossDevice(t *testing.T) {
+	ds := GenerateSynthetic(Anticorrelated, 800, 5, 6)
+	for _, algo := range []Algorithm{SDSC, MDMC} {
+		tr := NewTrace()
+		_, _, err := Build(ds, Options{
+			Algorithm: algo, Threads: 2, GPUs: []GPUModel{GTX980}, CPUAlso: true, Trace: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, trk := range tr.Tracks() {
+			seen[hetero.DeviceOfTrack(trk)] = true
+		}
+		if !seen["GTX980-1"] && !seen["CPU0"] && !seen["CPU1"] {
+			t.Errorf("%v: no device tracks in %v", algo, tr.Tracks())
+		}
+	}
+}
+
+// TestBuildProgress checks the ProgressFunc option on both a lattice and
+// the MDMC algorithm.
+func TestBuildProgress(t *testing.T) {
+	ds := GenerateSynthetic(Independent, 400, 5, 8)
+
+	var calls, lastDone atomic.Int64
+	_, _, err := Build(ds, Options{Algorithm: SDSC, Threads: 2, Progress: func(p Progress) {
+		calls.Add(1)
+		if p.Algorithm != SDSC || p.TotalCuboids != 31 {
+			t.Errorf("progress = %+v", p)
+		}
+		if int64(p.CuboidsDone) > lastDone.Load() {
+			lastDone.Store(int64(p.CuboidsDone))
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 31 || lastDone.Load() != 31 {
+		t.Errorf("SDSC progress: %d calls, max done %d, want 31", calls.Load(), lastDone.Load())
+	}
+
+	var points atomic.Int64
+	var total atomic.Int64
+	_, _, err = Build(ds, Options{Algorithm: MDMC, Threads: 2, Progress: func(p Progress) {
+		points.Store(int64(p.PointsDone))
+		total.Store(int64(p.TotalPoints))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points.Load() == 0 || points.Load() != total.Load() {
+		t.Errorf("MDMC progress ended at %d/%d points", points.Load(), total.Load())
+	}
+}
+
+// TestBuildMetrics checks the Metrics option populates build counters.
+func TestBuildMetrics(t *testing.T) {
+	ds := GenerateSynthetic(Independent, 400, 5, 8)
+	reg := NewMetrics()
+	_, _, err := Build(ds, Options{Algorithm: MDMC, Threads: 2, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Build(ds, Options{
+		Algorithm: SDSC, Threads: 2, GPUs: []GPUModel{GTX980}, CPUAlso: true, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`skycube_builds_total{algorithm="MDMC"} 1`,
+		`skycube_builds_total{algorithm="SDSC"} 1`,
+		"skycube_build_seconds_bucket",
+		"skycube_points_total",
+		"skycube_cuboids_total",
+		`skycube_device_share_fraction{device="CPU0"}`,
+		`skycube_gpu_instructions_total{device="GTX980-1"}`,
+		`skycube_gpu_model_seconds{device="GTX980-1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestMaterialisedCuboids pins the TotalCuboids arithmetic.
+func TestMaterialisedCuboids(t *testing.T) {
+	for _, c := range []struct{ d, maxLevel, want int }{
+		{5, 0, 31},
+		{5, 5, 31},
+		{5, 9, 31},
+		{5, 2, 5 + 10},
+		{6, 1, 6},
+	} {
+		if got := materialisedCuboids(c.d, c.maxLevel); got != c.want {
+			t.Errorf("materialisedCuboids(%d, %d) = %d, want %d", c.d, c.maxLevel, got, c.want)
+		}
+	}
+}

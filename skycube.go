@@ -34,6 +34,7 @@ package skycube
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"skycube/internal/gpu"
@@ -42,6 +43,7 @@ import (
 	"skycube/internal/hetero"
 	"skycube/internal/lattice"
 	"skycube/internal/mask"
+	"skycube/internal/obs"
 	"skycube/internal/qskycube"
 	"skycube/internal/skyline"
 	"skycube/internal/templates"
@@ -146,6 +148,18 @@ type Options struct {
 	// hooks in (§4.2.2's pluggability). The zero value picks the paper's
 	// choices: Hybrid on the CPU, the SkyAlign-style kernel on the GPU.
 	SDSCHook SDSCHook
+	// Trace, if non-nil, records typed spans of the build (build → level →
+	// cuboid, MDMC prologue phases and per-device chunk grabs). Export with
+	// Trace.WriteChrome. Nil adds only a pointer test to the hot paths.
+	Trace *Trace
+	// Metrics, if non-nil, receives build counters, per-device task totals
+	// and the modelled GPU counters. Serialise with Metrics.WritePrometheus
+	// or serve it via internal/server's GET /metrics.
+	Metrics *Metrics
+	// Progress, if non-nil, is called as the build advances: once per
+	// materialised cuboid (lattice algorithms) or completed point chunk
+	// (MDMC). Must be cheap and safe for concurrent calls.
+	Progress ProgressFunc
 }
 
 // SDSCHook names a parallel skyline algorithm for the SDSC template.
@@ -212,7 +226,13 @@ func Build(ds *Dataset, opt Options) (Skycube, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("skycube: empty dataset")
 	}
 	threads := opt.threads()
+	d := ds.ds.Dims
+	tr := opt.Trace
+	onCuboid, onChunk := progressHooks(opt, d)
+
 	start := time.Now()
+	bh := tr.Begin("build", obs.CatBuild, opt.Algorithm.String())
+	bh.SetN(int64(ds.ds.N))
 	var cube Skycube
 	var stats Stats
 
@@ -222,22 +242,25 @@ func Build(ds *Dataset, opt Options) (Skycube, Stats, error) {
 		if useGPU {
 			return nil, Stats{}, fmt.Errorf("skycube: QSkycube is CPU-only")
 		}
-		cube = latticeCube{qskycube.Build(ds.ds, qskycube.Options{Threads: 1, MaxLevel: opt.MaxLevel})}
+		cube = latticeCube{qskycube.Build(ds.ds, qskycube.Options{Threads: 1, MaxLevel: opt.MaxLevel,
+			Trace: tr, OnCuboid: onCuboid})}
 	case PQSkycube:
 		if useGPU {
 			return nil, Stats{}, fmt.Errorf("skycube: PQSkycube is CPU-only")
 		}
-		cube = latticeCube{qskycube.Build(ds.ds, qskycube.Options{Threads: threads, MaxLevel: opt.MaxLevel})}
+		cube = latticeCube{qskycube.Build(ds.ds, qskycube.Options{Threads: threads, MaxLevel: opt.MaxLevel,
+			Trace: tr, OnCuboid: onCuboid})}
 	case STSC:
 		if useGPU {
 			// §6.1: there is no single-threaded GPU algorithm to hook in.
 			return nil, Stats{}, fmt.Errorf("skycube: STSC cannot be specialised for the GPU")
 		}
-		cube = latticeCube{templates.STSC(ds.ds, templates.Options{Threads: threads, MaxLevel: opt.MaxLevel})}
+		cube = latticeCube{templates.STSC(ds.ds, templates.Options{Threads: threads, MaxLevel: opt.MaxLevel,
+			Trace: tr, OnCuboid: onCuboid})}
 	case SDSC:
 		switch {
 		case !useGPU:
-			topt := templates.Options{Threads: threads, MaxLevel: opt.MaxLevel}
+			topt := templates.Options{Threads: threads, MaxLevel: opt.MaxLevel, Trace: tr, OnCuboid: onCuboid}
 			switch opt.SDSCHook {
 			case HookDefault:
 				cube = latticeCube{templates.SDSC(ds.ds, topt)}
@@ -251,45 +274,169 @@ func Build(ds *Dataset, opt Options) (Skycube, Stats, error) {
 			dev := opt.GPUs[0].device()
 			switch opt.SDSCHook {
 			case HookDefault:
-				cube = latticeCube{gpu.SDSC(ds.ds, dev, opt.MaxLevel, collector)}
+				cube = latticeCube{gpu.SDSCTraced(ds.ds, dev, opt.MaxLevel, collector, tr, onCuboid)}
 			case HookGGS:
-				cube = latticeCube{gpu.SDSCWithGGS(ds.ds, dev, opt.MaxLevel, collector)}
+				cube = latticeCube{gpu.SDSCWithGGSTraced(ds.ds, dev, opt.MaxLevel, collector, tr, onCuboid)}
 			default:
 				return nil, Stats{}, fmt.Errorf("skycube: hook %d is not a GPU SDSC hook", opt.SDSCHook)
 			}
 			stats.GPUModelSeconds = []float64{dev.ModelSeconds(collector.Total())}
+			exportGPUMetrics(opt.Metrics, dev.Name, collector, stats.GPUModelSeconds[0])
 		default:
 			devices, collectors := buildDevices(opt, threads)
-			l, shares := hetero.SDSCAll(ds.ds, devices, opt.MaxLevel)
+			l, shares := hetero.SDSCAllTraced(ds.ds, devices, opt.MaxLevel, tr, onCuboid)
 			cube = latticeCube{l}
 			stats.Shares = shares.Fractions()
 			stats.GPUModelSeconds = modelSeconds(opt, collectors)
+			exportHeteroGPUMetrics(opt.Metrics, devices, collectors, stats.GPUModelSeconds)
 		}
 	case MDMC:
 		switch {
 		case !useGPU:
-			res := templates.MDMC(ds.ds, templates.MDMCOptions{
+			mopt := templates.MDMCOptions{
 				Options: templates.Options{Threads: threads, MaxLevel: opt.MaxLevel},
-			})
-			cube = hashCubeView{h: res.Cube, d: ds.ds.Dims, maxLevel: effectiveLevel(opt.MaxLevel, ds.ds.Dims)}
+			}
+			ctx := templates.PrepareMDMCTraced(ds.ds, threads, 0, opt.MaxLevel, tr)
+			total := ctx.NumTasks()
+			var chunk func(n int)
+			if onChunk != nil {
+				chunk = func(n int) { onChunk(n, total) }
+			}
+			templates.RunMDMCTraced(ctx, templates.CPUPointKernel(mopt), threads, tr, chunk)
+			cube = hashCubeView{h: ctx.Cube, d: d, maxLevel: effectiveLevel(opt.MaxLevel, d)}
 		case !opt.CPUAlso && len(opt.GPUs) == 1:
 			collector := &gpu.StatsCollector{}
 			dev := opt.GPUs[0].device()
-			res := gpu.MDMC(ds.ds, dev, threads, opt.MaxLevel, collector)
-			cube = hashCubeView{h: res.Cube, d: ds.ds.Dims, maxLevel: effectiveLevel(opt.MaxLevel, ds.ds.Dims)}
+			res := gpu.MDMCTraced(ds.ds, dev, threads, opt.MaxLevel, collector, tr)
+			cube = hashCubeView{h: res.Cube, d: d, maxLevel: effectiveLevel(opt.MaxLevel, d)}
 			stats.GPUModelSeconds = []float64{dev.ModelSeconds(collector.Total())}
+			exportGPUMetrics(opt.Metrics, dev.Name, collector, stats.GPUModelSeconds[0])
+			if onChunk != nil {
+				onChunk(len(res.ExtRows), len(res.ExtRows))
+			}
 		default:
 			devices, collectors := buildDevices(opt, threads)
-			res, shares := hetero.MDMCAll(ds.ds, devices, threads, opt.MaxLevel)
-			cube = hashCubeView{h: res.Cube, d: ds.ds.Dims, maxLevel: effectiveLevel(opt.MaxLevel, ds.ds.Dims)}
+			res, shares := hetero.MDMCAllTraced(ds.ds, devices, threads, opt.MaxLevel, tr, onChunk)
+			cube = hashCubeView{h: res.Cube, d: d, maxLevel: effectiveLevel(opt.MaxLevel, d)}
 			stats.Shares = shares.Fractions()
 			stats.GPUModelSeconds = modelSeconds(opt, collectors)
+			exportHeteroGPUMetrics(opt.Metrics, devices, collectors, stats.GPUModelSeconds)
 		}
 	default:
 		return nil, Stats{}, fmt.Errorf("skycube: unknown algorithm %d", opt.Algorithm)
 	}
 	stats.Elapsed = time.Since(start)
+	bh.End()
+	exportBuildMetrics(opt.Metrics, opt.Algorithm, stats)
 	return cube, stats, nil
+}
+
+// progressHooks builds the per-cuboid and per-chunk callbacks that feed
+// Options.Progress and Options.Metrics. Both returned hooks are nil when
+// neither sink is configured, so the builders skip them entirely.
+func progressHooks(opt Options, d int) (func(delta mask.Mask), func(n, total int)) {
+	if opt.Progress == nil && opt.Metrics == nil {
+		return nil, nil
+	}
+	algo := opt.Algorithm.String()
+	var cuboidCounter *obs.Counter
+	var pointCounter *obs.Counter
+	if opt.Metrics != nil {
+		cuboidCounter = opt.Metrics.CounterM("skycube_cuboids_total",
+			"Cuboids materialised by Build.", "algorithm", algo)
+		pointCounter = opt.Metrics.CounterM("skycube_points_total",
+			"MDMC point tasks completed by Build.", "algorithm", algo)
+	}
+	totalCuboids := materialisedCuboids(d, opt.MaxLevel)
+	var cuboidsDone, pointsDone atomic.Int64
+	onCuboid := func(delta mask.Mask) {
+		done := cuboidsDone.Add(1)
+		if cuboidCounter != nil {
+			cuboidCounter.Inc()
+		}
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Algorithm:    opt.Algorithm,
+				Level:        mask.Count(delta),
+				CuboidsDone:  int(done),
+				TotalCuboids: totalCuboids,
+			})
+		}
+	}
+	onChunk := func(n, total int) {
+		done := pointsDone.Add(int64(n))
+		if pointCounter != nil {
+			pointCounter.Add(float64(n))
+		}
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Algorithm:   opt.Algorithm,
+				PointsDone:  int(done),
+				TotalPoints: total,
+			})
+		}
+	}
+	return onCuboid, onChunk
+}
+
+// materialisedCuboids counts the non-empty subspaces a build with the given
+// level bound materialises: sum of C(d, l) for l = 1 … maxLevel.
+func materialisedCuboids(d, maxLevel int) int {
+	if maxLevel <= 0 || maxLevel >= d {
+		return mask.NumSubspaces(d)
+	}
+	total := 0
+	for l := 1; l <= maxLevel; l++ {
+		total += mask.Binomial(d, l)
+	}
+	return total
+}
+
+// exportBuildMetrics records the whole-build counters once the run is done.
+func exportBuildMetrics(reg *Metrics, algo Algorithm, stats Stats) {
+	if reg == nil {
+		return
+	}
+	name := algo.String()
+	reg.CounterM("skycube_builds_total", "Completed Build calls.", "algorithm", name).Inc()
+	reg.HistogramM("skycube_build_seconds", "Wall-clock build time.", nil,
+		"algorithm", name).Observe(stats.Elapsed.Seconds())
+	for _, s := range stats.Shares {
+		reg.CounterM("skycube_device_tasks_total",
+			"Parallel tasks completed per device in cross-device runs.",
+			"device", s.Name).Add(float64(s.Tasks))
+		reg.GaugeM("skycube_device_share_fraction",
+			"Fraction of the parallel tasks the device took in the latest cross-device run.",
+			"device", s.Name).Set(s.Fraction)
+	}
+}
+
+// exportGPUMetrics records one modelled card's counters.
+func exportGPUMetrics(reg *Metrics, device string, collector *gpu.StatsCollector, modelSec float64) {
+	if reg == nil {
+		return
+	}
+	st := collector.Total()
+	reg.CounterM("skycube_gpu_instructions_total",
+		"Modelled GPU instructions executed.", "device", device).Add(float64(st.Instructions))
+	reg.CounterM("skycube_gpu_transactions_total",
+		"Modelled GPU memory transactions.", "device", device).Add(float64(st.Transactions))
+	reg.CounterM("skycube_gpu_transfer_bytes_total",
+		"Modelled host↔device transfer bytes.", "device", device).Add(float64(st.TransferBytes))
+	reg.GaugeM("skycube_gpu_model_seconds",
+		"Cost model's GPU-time estimate for the latest build.", "device", device).Set(modelSec)
+}
+
+// exportHeteroGPUMetrics maps each collector back to its GPU device (the
+// last len(collectors) entries of the device list) and exports its counters.
+func exportHeteroGPUMetrics(reg *Metrics, devices []hetero.Device, collectors []*gpu.StatsCollector, modelSec []float64) {
+	if reg == nil {
+		return
+	}
+	base := len(devices) - len(collectors)
+	for i, c := range collectors {
+		exportGPUMetrics(reg, devices[base+i].Name(), c, modelSec[i])
+	}
 }
 
 // buildDevices assembles the hetero device list: optionally two CPU socket
