@@ -58,6 +58,13 @@ func main() {
 	traceFile := flag.String("trace", "", "write the build trace as Chrome trace_event JSON to this file")
 	progress := flag.Bool("progress", false, "report build progress on stderr")
 	pprofFlag := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
+	noSteal := flag.Bool("no-steal", false, "disable work stealing between device queues (cross-device runs)")
+	noRetune := flag.Bool("no-retune", false, "freeze chunk sizes at the device hints instead of auto-tuning")
+	noCostOrder := flag.Bool("no-cost-order", false, "disable SDSC's largest-first cuboid ordering")
+	prepartition := flag.Bool("prepartition", false, "statically split the MDMC task range across devices up front")
+	minChunk := flag.Int("min-chunk", 0, "minimum auto-tuned grab size (0 = default 16)")
+	maxChunk := flag.Int("max-chunk", 0, "maximum auto-tuned grab size (0 = default 4096)")
+	chunkTime := flag.Duration("chunk-time", 0, "target wall time of one grab (0 = default 2ms)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -91,6 +98,15 @@ func main() {
 		Threads:   *threads,
 		MaxLevel:  *maxLevel,
 		CPUAlso:   *cpuAlso,
+		Scheduling: skycube.Scheduling{
+			DisableStealing:  *noSteal,
+			DisableRetune:    *noRetune,
+			DisableCostOrder: *noCostOrder,
+			Prepartition:     *prepartition,
+			MinChunk:         *minChunk,
+			MaxChunk:         *maxChunk,
+			TargetChunkTime:  *chunkTime,
+		},
 	}
 	for i := 0; i < *gpus; i++ {
 		opt.GPUs = append(opt.GPUs, skycube.GTX980)
@@ -118,6 +134,10 @@ func main() {
 	fmt.Println(")")
 	for _, sh := range stats.Shares {
 		fmt.Printf("  %-8s %8d tasks (%.1f%%)\n", sh.Name, sh.Tasks, sh.Fraction*100)
+	}
+	if c := stats.Sched; c.Steals > 0 || c.Refills > 0 {
+		fmt.Printf("  scheduler: %d refills, %d steals (%d tasks moved), %d chunk retunes\n",
+			c.Refills, c.Steals, c.StolenTasks, c.Retunes)
 	}
 
 	if *traceFile != "" {

@@ -1,0 +1,125 @@
+// Cross-algorithm differential test harness: every algorithm path — the
+// QSkycube oracle, PQSkycube, STSC, SDSC and MDMC, including the
+// cross-device builds with the work-stealing scheduler on and off — must
+// materialise exactly the same skycube, cuboid by cuboid, on every
+// distribution and dimensionality in the grid.
+package skycube_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"skycube"
+)
+
+// diffCase is one algorithm path of the differential grid.
+type diffCase struct {
+	name string
+	opt  skycube.Options
+}
+
+// diffPaths returns every build path under test. Cross-device paths run
+// twice: with the adaptive work-stealing schedule (the default) and with a
+// static prepartitioned schedule, so a scheduler bug cannot hide behind the
+// schedule it happens to produce.
+func diffPaths(threads int) []diffCase {
+	hetero := []skycube.GPUModel{skycube.GTX980, skycube.GTXTitan}
+	static := skycube.Scheduling{Prepartition: true, DisableStealing: true, DisableRetune: true}
+	return []diffCase{
+		{"PQSkycube", skycube.Options{Algorithm: skycube.PQSkycube, Threads: threads}},
+		{"STSC", skycube.Options{Algorithm: skycube.STSC, Threads: threads}},
+		{"SDSC", skycube.Options{Algorithm: skycube.SDSC, Threads: threads}},
+		{"MDMC", skycube.Options{Algorithm: skycube.MDMC, Threads: threads}},
+		{"SDSC-hetero-steal", skycube.Options{Algorithm: skycube.SDSC, Threads: threads,
+			GPUs: hetero, CPUAlso: true}},
+		{"SDSC-hetero-static", skycube.Options{Algorithm: skycube.SDSC, Threads: threads,
+			GPUs: hetero, CPUAlso: true, Scheduling: static}},
+		{"MDMC-hetero-steal", skycube.Options{Algorithm: skycube.MDMC, Threads: threads,
+			GPUs: hetero, CPUAlso: true}},
+		{"MDMC-hetero-static", skycube.Options{Algorithm: skycube.MDMC, Threads: threads,
+			GPUs: hetero, CPUAlso: true, Scheduling: static}},
+	}
+}
+
+func TestDifferentialAllAlgorithms(t *testing.T) {
+	dists := []struct {
+		name string
+		dist skycube.Distribution
+	}{
+		{"correlated", skycube.Correlated},
+		{"independent", skycube.Independent},
+		{"anticorrelated", skycube.Anticorrelated},
+	}
+	for _, dc := range dists {
+		for d := 2; d <= 6; d++ {
+			n := 2000
+			if dc.dist == skycube.Anticorrelated && d >= 5 {
+				// The anticorrelated extended skylines explode with d; keep
+				// the oracle affordable.
+				n = 800
+			}
+			name := fmt.Sprintf("%s/d=%d/n=%d", dc.name, d, n)
+			t.Run(name, func(t *testing.T) {
+				ds := skycube.GenerateSynthetic(dc.dist, n, d, int64(31*d)+7)
+				oracle, _, err := skycube.Build(ds, skycube.Options{
+					Algorithm: skycube.QSkycube, Threads: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range diffPaths(4) {
+					cube, stats, err := skycube.Build(ds, c.opt)
+					if err != nil {
+						t.Fatalf("%s: %v", c.name, err)
+					}
+					for _, delta := range skycube.AllSubspaces(d) {
+						want := oracle.Skyline(delta)
+						got := cube.Skyline(delta)
+						if !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s: cuboid δ=%0*b has %d skyline points, oracle has %d\n got %v\nwant %v",
+								c.name, d, delta, len(got), len(want), got, want)
+						}
+					}
+					// Cross-device paths must also keep the Shares accounting
+					// consistent: fractions covering all the work.
+					if len(stats.Shares) > 0 {
+						sum := 0.0
+						for _, sh := range stats.Shares {
+							sum += sh.Fraction
+						}
+						if sum < 0.9999 || sum > 1.0001 {
+							t.Errorf("%s: device share fractions sum to %v", c.name, sum)
+						}
+					}
+					if c.opt.Scheduling.DisableStealing && stats.Sched.Steals != 0 {
+						t.Errorf("%s: %d steals recorded with stealing disabled", c.name, stats.Sched.Steals)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialMembership cross-checks the inverse query: for a sample of
+// points, the subspace list reported by the HashCube representation (MDMC)
+// must equal the lattice representation's (QSkycube oracle).
+func TestDifferentialMembership(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 1500, 5, 11)
+	oracle, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.QSkycube, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, _, err := skycube.Build(ds, skycube.Options{
+		Algorithm: skycube.MDMC, Threads: 4, CPUAlso: true,
+		GPUs: []skycube.GPUModel{skycube.GTX980},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int32(0); id < 100; id++ {
+		if got, want := cube.Membership(id), oracle.Membership(id); !reflect.DeepEqual(got, want) {
+			t.Fatalf("membership of point %d: %v, want %v", id, got, want)
+		}
+	}
+}

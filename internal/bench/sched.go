@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"skycube"
+	"skycube/internal/gen"
+)
+
+// Sched compares the adaptive work-stealing scheduler against a static
+// prepartitioned schedule on the cross-device MDMC workload (one CPU split
+// into two sockets, two modelled 980s and a Titan). The adaptive run also
+// reports its scheduling event totals — the same counters the /metrics
+// surface exports as skycube_sched_*.
+func Sched(w io.Writer, s Scale) {
+	fmt.Fprintf(w, "== Scheduler: static vs adaptive cross-device MDMC (I %d×%d) [%s scale] ==\n",
+		s.DefaultN, s.DefaultD, s.Name)
+	ds, _ := dataset(gen.Independent, s.DefaultN, s.DefaultD)
+	all := []skycube.GPUModel{skycube.GTX980, skycube.GTX980, skycube.GTXTitan}
+	static := skycube.Scheduling{Prepartition: true, DisableStealing: true, DisableRetune: true}
+	header(w, "schedule", "ms", "steals", "moved", "refills", "retunes")
+	for _, v := range []struct {
+		name string
+		sch  skycube.Scheduling
+	}{{"static", static}, {"adaptive", skycube.Scheduling{}}} {
+		t, stats := timeBuild(ds, skycube.Options{
+			Algorithm: skycube.MDMC, Threads: s.Threads, GPUs: all, CPUAlso: true,
+			Scheduling: v.sch,
+		})
+		c := stats.Sched
+		row(w, v.name, ms(t), fmt.Sprint(c.Steals), fmt.Sprint(c.StolenTasks),
+			fmt.Sprint(c.Refills), fmt.Sprint(c.Retunes))
+		if v.name == "adaptive" {
+			header(w, "device", "tasks", "share")
+			for _, sh := range stats.Shares {
+				row(w, sh.Name, fmt.Sprint(sh.Tasks), fmt.Sprintf("%.1f%%", sh.Fraction*100))
+			}
+		}
+	}
+}

@@ -298,6 +298,24 @@ func BlockThreads(d int) int {
 	}
 }
 
+// PreferredChunk reports the point-task grab size that keeps the device
+// saturated for dimensionality d: one point per thread block, so a grab
+// should cover at least the concurrently-resident blocks (which shrink as
+// the 2·(2^d −1)-bit task state eats shared memory, §6.2), rounded up to a
+// multiple of the warp-friendly 64 and clamped to a sane range. This is the
+// device's chunk-size report to the adaptive cross-device scheduler.
+func PreferredChunk(dev *gpusim.Device, d int) int {
+	occ := dev.OccupantBlocks(templates.StateBytes(d))
+	chunk := (occ + 63) / 64 * 64
+	if chunk < 64 {
+		chunk = 64
+	}
+	if chunk > 2048 {
+		chunk = 2048
+	}
+	return chunk
+}
+
 // PointKernel returns the MDMC GPU specialisation: a templates.PointKernel
 // that processes each chunk as one kernel launch with a block per point.
 // Stats, if non-nil, accumulates device counters.

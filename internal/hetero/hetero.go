@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"skycube/internal/data"
@@ -28,14 +27,17 @@ import (
 	"skycube/internal/templates"
 )
 
-// Grab hands out the next chunk of at most size point tasks, returning
-// lo == hi when the queue is exhausted.
-type Grab func(size int) (lo, hi int)
+// Grab hands out the next chunk of point tasks for a worker lane, returning
+// lo == hi when the queue is exhausted. It is the template's grab protocol
+// (see internal/templates): the scheduler — not the device — decides the
+// chunk size, so sizes can adapt to each device's measured throughput.
+type Grab = templates.Grab
 
 // AccountFunc reports one completed chunk of n point tasks that took dur
 // on the device's lane (a CPU worker index, or 0 for a single-puller GPU).
 // The duration lets the scheduler back-date a trace span for the chunk, so
-// cross-device runs yield a Figure-12-style per-device work timeline.
+// cross-device runs yield a Figure-12-style per-device work timeline, and
+// feeds the throughput EWMA that auto-tunes the device's chunk size.
 type AccountFunc func(lane, n int, dur time.Duration)
 
 // Device is one compute unit participating in a cross-device run.
@@ -47,6 +49,14 @@ type Device interface {
 	// RunPoints consumes MDMC point chunks via grab until exhaustion,
 	// reporting each completed chunk (with its wall time) to account.
 	RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc)
+	// ChunkHint is the device's preferred grab size for dimensionality d —
+	// the scheduler's starting point before throughput observations arrive
+	// (a cache-friendly 64 on the CPU, the resident-block count on a GPU).
+	ChunkHint(d int) int
+	// SpeedHint is a relative throughput estimate used to pick steal
+	// victims before any chunk of the device has completed. Only compared
+	// between devices; never mixed with measured rates.
+	SpeedHint() float64
 }
 
 // CPUDevice is the multicore CPU as a device: Hybrid for cuboids, the §5.2
@@ -82,31 +92,20 @@ func (c *CPUDevice) Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) ([]i
 	return res.Skyline, res.ExtOnly
 }
 
-// cpuPointChunk is the grab size per CPU worker.
+// cpuPointChunk is the CPU's preferred grab size per worker.
 const cpuPointChunk = 64
 
-// RunPoints implements Device: every core is an independent puller.
+// RunPoints implements Device: every core is an independent puller lane on
+// the shared grab source.
 func (c *CPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc) {
-	kernel := templates.CPUPointKernel(c.MDMCOpt)
-	var wg sync.WaitGroup
-	n := c.threads()
-	wg.Add(n)
-	for w := 0; w < n; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo, hi := grab(cpuPointChunk)
-				if lo >= hi {
-					return
-				}
-				start := time.Now()
-				kernel(ctx, lo, hi)
-				account(w, hi-lo, time.Since(start))
-			}
-		}(w)
-	}
-	wg.Wait()
+	templates.RunMDMCGrab(ctx, templates.CPUPointKernel(c.MDMCOpt), c.threads(), grab, account)
 }
+
+// ChunkHint implements Device: the §5.2 kernel's cache-friendly chunk.
+func (c *CPUDevice) ChunkHint(int) int { return cpuPointChunk }
+
+// SpeedHint implements Device: relative speed scales with the core count.
+func (c *CPUDevice) SpeedHint() float64 { return 8 * float64(c.threads()) }
 
 // GPUDevice wraps one modelled GPU.
 type GPUDevice struct {
@@ -131,17 +130,12 @@ func (g *GPUDevice) Cuboid(ds *data.Dataset, rows []int32, delta mask.Mask) ([]i
 	return res.Skyline, res.ExtOnly
 }
 
-// gpuPointChunk is the grab size per kernel launch: large enough to fill a
-// good fraction of the device's resident blocks, small enough that the
-// dynamic queue still balances when the task count is modest.
-const gpuPointChunk = 256
-
 // RunPoints implements Device: one puller that turns each chunk into a
 // block-per-point kernel launch.
 func (g *GPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account AccountFunc) {
 	kernel := gpu.PointKernel(g.Dev, g.Stats)
 	for {
-		lo, hi := grab(gpuPointChunk)
+		lo, hi := grab(0)
 		if lo >= hi {
 			return
 		}
@@ -150,6 +144,13 @@ func (g *GPUDevice) RunPoints(ctx *templates.MDMCContext, grab Grab, account Acc
 		account(0, hi-lo, time.Since(start))
 	}
 }
+
+// ChunkHint implements Device: a launch should cover the card's resident
+// blocks, which shrink as the per-point task state grows with d (§6.2).
+func (g *GPUDevice) ChunkHint(d int) int { return gpu.PreferredChunk(g.Dev, d) }
+
+// SpeedHint implements Device with the card's modelled issue throughput.
+func (g *GPUDevice) SpeedHint() float64 { return g.Dev.RelativeSpeed() }
 
 // Shares records how many parallel tasks each device completed.
 type Shares struct {
@@ -212,12 +213,22 @@ func SDSCAll(ds *data.Dataset, devices []Device, maxLevel int) (*lattice.Lattice
 	return SDSCAllTraced(ds, devices, maxLevel, nil, nil)
 }
 
-// SDSCAllTraced is SDSCAll recording each cuboid as a span on its device's
-// track (plus per-level barrier spans), and reporting every completed
-// cuboid to onCuboid for progress accounting. Both tr and onCuboid may be
-// nil.
+// SDSCAllTraced is SDSCAll with default scheduler tuning (see SDSCAllSched).
 func SDSCAllTraced(ds *data.Dataset, devices []Device, maxLevel int, tr *obs.Trace,
 	onCuboid func(delta mask.Mask)) (*lattice.Lattice, *Shares) {
+	return SDSCAllSched(ds, devices, maxLevel, Tuning{}, tr, onCuboid)
+}
+
+// SDSCAllSched is the scheduled form of SDSCAll: within each lattice level
+// below the top, cuboids are handed out cost-ordered largest-first (by the
+// min-parent extended-skyline size) so the expensive cuboids start first
+// and no device is left holding a large cuboid after the rest of the level
+// has drained — LPT scheduling against the level barrier. Each cuboid is
+// recorded as a span on its device's track (plus per-level barrier spans),
+// and completed cuboids are reported to onCuboid. tr and onCuboid may be
+// nil.
+func SDSCAllSched(ds *data.Dataset, devices []Device, maxLevel int, tun Tuning,
+	tr *obs.Trace, onCuboid func(delta mask.Mask)) (*lattice.Lattice, *Shares) {
 	shares := NewShares()
 	pool := make(chan Device, len(devices))
 	for _, d := range devices {
@@ -242,6 +253,7 @@ func SDSCAllTraced(ds *data.Dataset, devices []Device, maxLevel int, tr *obs.Tra
 		Trace:               tr,
 		SuppressCuboidSpans: true,
 		OnCuboid:            onCuboid,
+		LargestFirst:        !tun.DisableCostOrder,
 	})
 	return l, shares
 }
@@ -253,36 +265,37 @@ func MDMCAll(ds *data.Dataset, devices []Device, prepThreads, maxLevel int) (*te
 	return MDMCAllTraced(ds, devices, prepThreads, maxLevel, nil, nil)
 }
 
-// MDMCAllTraced is MDMCAll recording the prologue phases and one span per
-// completed chunk grab on the owning device's track — the raw data of a
-// Figure-12 work-share timeline. A device's CPU workers beyond lane 0
-// record on sub-tracks "NAME#lane". onChunk, if non-nil, is told the size
-// of every completed chunk plus the total task count |S⁺(P)| (progress
-// accounting). Both may be nil.
+// MDMCAllTraced is MDMCAll with default scheduler tuning (see MDMCAllSched).
 func MDMCAllTraced(ds *data.Dataset, devices []Device, prepThreads, maxLevel int,
 	tr *obs.Trace, onChunk func(n, total int)) (*templates.MDMCResult, *Shares) {
+	res, shares, _ := MDMCAllSched(ds, devices, prepThreads, maxLevel, Tuning{}, tr, onChunk)
+	return res, shares
+}
+
+// MDMCAllSched is the scheduled form of MDMCAll: devices drain per-device
+// deques fed by a global grab counter, chunk sizes are auto-tuned from each
+// device's throughput EWMA, and idle devices steal half the remaining range
+// from the most burdened queue (see Scheduler). The prologue phases and one
+// span per completed chunk are recorded on the owning device's track — the
+// raw data of a Figure-12 work-share timeline; a device's CPU workers
+// beyond lane 0 record on sub-tracks "NAME#lane". Stolen ranges are
+// attributed to the stealing device, so Shares and the trace stay exactly
+// consistent. onChunk, if non-nil, is told the size of every completed
+// chunk plus the total task count |S⁺(P)|. tr and onChunk may be nil.
+func MDMCAllSched(ds *data.Dataset, devices []Device, prepThreads, maxLevel int, tun Tuning,
+	tr *obs.Trace, onChunk func(n, total int)) (*templates.MDMCResult, *Shares, SchedCounters) {
 	ctx := templates.PrepareMDMCTraced(ds, prepThreads, 3, maxLevel, tr)
 	shares := NewShares()
 	n := ctx.NumTasks()
-	var next int64
-	grab := func(size int) (int, int) {
-		lo := int(atomic.AddInt64(&next, int64(size))) - size
-		if lo >= n {
-			return n, n
-		}
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		return lo, hi
-	}
+	sched := NewScheduler(n, ctx.D, devices, tun)
 	var wg sync.WaitGroup
 	wg.Add(len(devices))
-	for _, d := range devices {
-		go func(dev Device) {
+	for i, d := range devices {
+		go func(i int, dev Device) {
 			defer wg.Done()
 			name := dev.Name()
-			dev.RunPoints(ctx, grab, func(lane, k int, dur time.Duration) {
+			dev.RunPoints(ctx, sched.GrabFor(i), func(lane, k int, dur time.Duration) {
+				sched.Observe(i, k, dur)
 				shares.Add(name, int64(k))
 				if tr != nil {
 					tr.Record(ChunkTrack(name, lane), obs.CatChunk, "points", dur, int64(k))
@@ -291,10 +304,10 @@ func MDMCAllTraced(ds *data.Dataset, devices []Device, prepThreads, maxLevel int
 					onChunk(k, n)
 				}
 			})
-		}(d)
+		}(i, d)
 	}
 	wg.Wait()
-	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares
+	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares, sched.Counters()
 }
 
 // ChunkTrack names the trace track for a device lane: the device name for

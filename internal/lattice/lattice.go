@@ -8,6 +8,7 @@ package lattice
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -133,6 +134,12 @@ type TopDownOptions struct {
 	// set by the cross-device scheduler, whose hook records each cuboid on
 	// its *device's* track instead of a traversal-worker track.
 	SuppressCuboidSpans bool
+	// LargestFirst orders the cuboids of each level below the top by
+	// descending min-parent extended-skyline size before handing them to
+	// the workers — LPT scheduling against the per-level barrier, so the
+	// expensive cuboids start first and no worker is left computing a large
+	// cuboid alone after the rest of the level has drained.
+	LargestFirst bool
 }
 
 // TopDown materialises the skycube of ds with the level-synchronised
@@ -178,6 +185,17 @@ func TopDown(ds *data.Dataset, compute CuboidFunc, opt TopDownOptions) *Lattice 
 
 	for level := maxLevel; level >= 1; level-- {
 		cuboids := mask.Level(d, level)
+		if opt.LargestFirst && level < maxLevel && len(cuboids) > 1 {
+			// The input of each cuboid at this level is its min-parent's
+			// extended skyline, already materialised — its size is the best
+			// available cost estimate for the cuboid.
+			ordered := make([]mask.Mask, len(cuboids))
+			copy(ordered, cuboids)
+			sort.SliceStable(ordered, func(a, b int) bool {
+				return l.ExtendedSize(l.MinParent(ordered[a])) > l.ExtendedSize(l.MinParent(ordered[b]))
+			})
+			cuboids = ordered
+		}
 		lh := tr.Begin("levels", obs.CatLevel, fmt.Sprintf("level %d", level))
 		lh.SetN(int64(len(cuboids)))
 		run := func(worker int, delta mask.Mask) {

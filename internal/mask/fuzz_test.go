@@ -1,0 +1,113 @@
+package mask
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzMaskSubspaces checks the structural invariants of the subspace
+// bitmask algebra for arbitrary masks: SubmasksOf enumerates every
+// non-empty submask exactly once in descending order, Parents/Children are
+// exact level neighbours, Project compacts onto the low bits, and Dims
+// round-trips.
+func FuzzMaskSubspaces(f *testing.F) {
+	f.Add(uint8(1), uint32(1))
+	f.Add(uint8(4), uint32(0b1011))
+	f.Add(uint8(6), uint32(0b111111))
+	f.Add(uint8(12), uint32(0xACE))
+	f.Add(uint8(3), uint32(0))
+	f.Fuzz(func(t *testing.T, dRaw uint8, mRaw uint32) {
+		d := 1 + int(dRaw)%12 // ≤ 4096 submasks per exec
+		m := Mask(mRaw) & Full(d)
+
+		if got := Count(m); got != bits.OnesCount32(m) {
+			t.Fatalf("Count(%b) = %d, want %d", m, got, bits.OnesCount32(m))
+		}
+
+		// SubmasksOf: descending, exactly once, all ⊆ m, none empty, and
+		// exactly 2^|m| − 1 of them.
+		seen := map[Mask]bool{}
+		prev := Mask(0)
+		first := true
+		SubmasksOf(m, func(s Mask) bool {
+			if s == 0 {
+				t.Fatal("empty submask enumerated")
+			}
+			if !Contains(m, s) {
+				t.Fatalf("submask %b ⊄ %b", s, m)
+			}
+			if !first && s >= prev {
+				t.Fatalf("submasks not descending: %b after %b", s, prev)
+			}
+			if seen[s] {
+				t.Fatalf("submask %b enumerated twice", s)
+			}
+			seen[s] = true
+			prev, first = s, false
+			return true
+		})
+		if want := (1 << uint(Count(m))) - 1; len(seen) != want {
+			t.Fatalf("enumerated %d submasks of %b, want %d", len(seen), m, want)
+		}
+
+		// Early stop: the callback returning false enumerates exactly one.
+		calls := 0
+		SubmasksOf(m, func(Mask) bool { calls++; return false })
+		if m != 0 && calls != 1 {
+			t.Fatalf("early stop made %d calls", calls)
+		}
+
+		if m == 0 {
+			return
+		}
+
+		// Parents: one per unset dimension, each a superset one level up.
+		parents := Parents(m, d)
+		if len(parents) != d-Count(m) {
+			t.Fatalf("|Parents(%b)| = %d, want %d", m, len(parents), d-Count(m))
+		}
+		for _, p := range parents {
+			if !Contains(p, m) || Count(p) != Count(m)+1 {
+				t.Fatalf("parent %b of %b is not one level up", p, m)
+			}
+		}
+
+		// Children: one per set dimension, each a subset one level down.
+		children := Children(m)
+		wantKids := Count(m)
+		if Count(m) == 1 {
+			wantKids = 0 // the empty subspace is not a cuboid
+		}
+		if len(children) != wantKids {
+			t.Fatalf("|Children(%b)| = %d, want %d", m, len(children), wantKids)
+		}
+		for _, c := range children {
+			if !Contains(m, c) || Count(c) != Count(m)-1 {
+				t.Fatalf("child %b of %b is not one level down", c, m)
+			}
+		}
+
+		// Project: m projected onto itself fills the low Count(m) bits; any
+		// projection stays within them and preserves popcount of m∩δ.
+		if got, want := Project(m, m), Full(Count(m)); got != want {
+			t.Fatalf("Project(%b, itself) = %b, want %b", m, got, want)
+		}
+		delta := Mask(mRaw>>7) & Full(d)
+		proj := Project(m, delta)
+		if proj&^Full(Count(delta)) != 0 {
+			t.Fatalf("Project(%b, %b) = %b overflows %d low bits", m, delta, proj, Count(delta))
+		}
+		if Count(proj) != Count(m&delta) {
+			t.Fatalf("Project(%b, %b) lost bits: %b", m, delta, proj)
+		}
+
+		// Dims round-trips through Bit.
+		var rebuilt Mask
+		for _, i := range Dims(m) {
+			rebuilt |= Bit(i)
+		}
+		if rebuilt != m {
+			t.Fatalf("Dims(%b) rebuilt to %b", m, rebuilt)
+		}
+	})
+}

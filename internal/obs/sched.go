@@ -1,0 +1,66 @@
+package obs
+
+// SchedMetrics bundles the metric families of the adaptive cross-device
+// scheduler (internal/hetero): steal and refill counters plus the live
+// chunk-size and throughput gauges each device's queue is tuned by. A nil
+// *SchedMetrics is valid everywhere and records nothing, mirroring the
+// nil-trace fast path, so the scheduler hot loop pays one pointer test per
+// event when metrics are off.
+type SchedMetrics struct {
+	reg *Registry
+}
+
+// NewSchedMetrics wires scheduler metrics into reg; a nil registry yields a
+// nil (no-op) bundle.
+func NewSchedMetrics(reg *Registry) *SchedMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SchedMetrics{reg: reg}
+}
+
+// Steal records one steal of tasks point tasks by thief from victim's queue.
+func (m *SchedMetrics) Steal(thief, victim string, tasks int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_sched_steals_total",
+		"Work-stealing events between device queues.",
+		"thief", thief, "victim", victim).Inc()
+	m.reg.CounterM("skycube_sched_stolen_tasks_total",
+		"Point tasks moved between device queues by stealing.",
+		"thief", thief).Add(float64(tasks))
+}
+
+// Refill records one refill of a device queue from the global grab counter.
+func (m *SchedMetrics) Refill(device string, tasks int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_sched_refills_total",
+		"Device-queue refills from the global grab counter.",
+		"device", device).Inc()
+}
+
+// Retune records a chunk-size adjustment and exposes the new size.
+func (m *SchedMetrics) Retune(device string, chunk int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_sched_retunes_total",
+		"Chunk-size retunes driven by the per-device throughput EWMA.",
+		"device", device).Inc()
+	m.reg.GaugeM("skycube_sched_chunk_size",
+		"Current auto-tuned grab size of the device's queue.",
+		"device", device).Set(float64(chunk))
+}
+
+// Rate exposes the device's current EWMA throughput in tasks per second.
+func (m *SchedMetrics) Rate(device string, perSec float64) {
+	if m == nil {
+		return
+	}
+	m.reg.GaugeM("skycube_sched_task_rate",
+		"EWMA point-task throughput of the device (tasks/s).",
+		"device", device).Set(perSec)
+}

@@ -74,13 +74,31 @@ type traceShard struct {
 // value is not usable; call New. A nil *Trace is valid everywhere and
 // records nothing.
 type Trace struct {
-	epoch  time.Time
+	epoch time.Time
+	// clock, when non-nil, replaces time.Since(epoch) as the trace's time
+	// source — injected by tests so timing assertions are deterministic
+	// instead of sleep-based.
+	clock  func() time.Duration
 	rr     atomic.Uint32
 	shards [traceShards]traceShard
 }
 
 // New returns an empty trace whose epoch is now.
 func New() *Trace { return &Trace{epoch: time.Now()} }
+
+// newWithClock returns a trace driven by the given time source instead of
+// the wall clock (test use).
+func newWithClock(clock func() time.Duration) *Trace {
+	return &Trace{epoch: time.Now(), clock: clock}
+}
+
+// now returns the current offset from the epoch under the trace's clock.
+func (t *Trace) now() time.Duration {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Since(t.epoch)
+}
 
 // Epoch returns the trace's time origin (zero for a nil trace).
 func (t *Trace) Epoch() time.Time {
@@ -95,7 +113,7 @@ func (t *Trace) Now() time.Duration {
 	if t == nil {
 		return 0
 	}
-	return time.Since(t.epoch)
+	return t.now()
 }
 
 // SpanHandle is an in-flight span started by Begin. The zero value (what a
@@ -115,7 +133,7 @@ func (t *Trace) Begin(track, cat, name string) SpanHandle {
 	if t == nil {
 		return SpanHandle{}
 	}
-	return SpanHandle{t: t, start: time.Since(t.epoch), track: track, cat: cat, name: name}
+	return SpanHandle{t: t, start: t.now(), track: track, cat: cat, name: name}
 }
 
 // SetN attaches a work count to the span before End.
@@ -132,7 +150,7 @@ func (h SpanHandle) End() {
 	}
 	h.t.record(Span{
 		Track: h.track, Cat: h.cat, Name: h.name,
-		Start: h.start, Dur: time.Since(h.t.epoch) - h.start, N: h.n,
+		Start: h.start, Dur: h.t.now() - h.start, N: h.n,
 	})
 }
 
@@ -144,7 +162,7 @@ func (t *Trace) Record(track, cat, name string, dur time.Duration, n int64) {
 	if t == nil {
 		return
 	}
-	end := time.Since(t.epoch)
+	end := t.now()
 	start := end - dur
 	if start < 0 {
 		start = 0

@@ -27,11 +27,20 @@ func TestNilTraceIsSafe(t *testing.T) {
 	}
 }
 
+// fakeClock is a deterministic trace time source: each test advances it
+// explicitly, so timing assertions are exact instead of sleep-based.
+type fakeClock struct{ now time.Duration }
+
+func (c *fakeClock) advance(d time.Duration) { c.now += d }
+func (c *fakeClock) trace() *Trace           { return newWithClock(func() time.Duration { return c.now }) }
+
 func TestBeginEndRecordsSpan(t *testing.T) {
-	tr := New()
+	clk := &fakeClock{}
+	tr := clk.trace()
+	clk.advance(3 * time.Millisecond)
 	h := tr.Begin("cpu-0", CatCuboid, "δ=101")
 	h.SetN(42)
-	time.Sleep(time.Millisecond)
+	clk.advance(time.Millisecond)
 	h.End()
 	spans := tr.Spans()
 	if len(spans) != 1 {
@@ -41,21 +50,22 @@ func TestBeginEndRecordsSpan(t *testing.T) {
 	if s.Track != "cpu-0" || s.Cat != CatCuboid || s.Name != "δ=101" || s.N != 42 {
 		t.Errorf("span = %+v", s)
 	}
-	if s.Dur < time.Millisecond/2 {
-		t.Errorf("dur = %v, want ≥ ~1ms", s.Dur)
+	if s.Start != 3*time.Millisecond || s.Dur != time.Millisecond {
+		t.Errorf("span timing = [%v +%v], want [3ms +1ms]", s.Start, s.Dur)
 	}
 }
 
 func TestRecordBackdates(t *testing.T) {
-	tr := New()
-	time.Sleep(2 * time.Millisecond)
+	clk := &fakeClock{}
+	tr := clk.trace()
+	clk.advance(2 * time.Millisecond)
 	tr.Record("980-1", CatChunk, "points", time.Millisecond, 256)
 	s := tr.Spans()[0]
 	if s.Dur != s.End()-s.Start {
 		t.Errorf("end arithmetic wrong: %+v", s)
 	}
-	if s.Start < 0 || s.Dur <= 0 {
-		t.Errorf("backdated span = %+v", s)
+	if s.Start != time.Millisecond || s.Dur != time.Millisecond {
+		t.Errorf("backdated span = [%v +%v], want [1ms +1ms]", s.Start, s.Dur)
 	}
 	// A duration longer than the trace's lifetime clamps to the epoch.
 	tr.Record("980-1", CatChunk, "clamped", time.Hour, 1)

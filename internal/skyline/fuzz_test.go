@@ -1,0 +1,72 @@
+package skyline
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/mask"
+)
+
+// fuzzDataset decodes raw fuzz bytes into a small dataset: the first byte
+// picks the dimensionality (2–5), every following pair of bytes is one
+// coordinate in [0, 1]. The coarse 16-bit grid makes ties and duplicate
+// points common — exactly the inputs where dominance semantics diverge if
+// an algorithm gets the strict/non-strict distinction wrong.
+func fuzzDataset(raw []byte) *data.Dataset {
+	if len(raw) < 1 {
+		return nil
+	}
+	d := 2 + int(raw[0])%4
+	raw = raw[1:]
+	n := len(raw) / (2 * d)
+	if n < 1 {
+		return nil
+	}
+	if n > 256 {
+		n = 256
+	}
+	rows := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		row := make([]float32, d)
+		for j := 0; j < d; j++ {
+			v := binary.LittleEndian.Uint16(raw[(i*d+j)*2:])
+			row[j] = float32(v) / 65535
+		}
+		rows[i] = row
+	}
+	return data.FromRows(rows)
+}
+
+// FuzzSkylineEquivalence checks that the four skyline algorithms — the BNL
+// reference, the pivot-partitioned BSkyTree, the tiled multicore Hybrid and
+// the divide-and-conquer PSkyline — agree on the skyline and the extended
+// skyline of arbitrary (tie-heavy) inputs, in the full space and in every
+// subspace.
+func FuzzSkylineEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0})
+	f.Add([]byte{3, 0xff, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80,
+		0x90, 0xa0, 0xb0, 0xc0, 0xd0, 0xe0, 0xf0, 0x00, 0x11, 0x22})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ds := fuzzDataset(raw)
+		if ds == nil {
+			t.Skip("too few bytes for a dataset")
+		}
+		algos := []Algo{AlgoBSkyTree, AlgoHybrid, AlgoPSkyline}
+		for _, delta := range mask.Subspaces(ds.Dims) {
+			ref := Compute(ds, nil, delta, AlgoBNL, 1)
+			for _, algo := range algos {
+				got := Compute(ds, nil, delta, algo, 2)
+				if !reflect.DeepEqual(got.Skyline, ref.Skyline) {
+					t.Fatalf("%v: skyline of δ=%0*b diverges from BNL\n got %v\nwant %v",
+						algo, ds.Dims, delta, got.Skyline, ref.Skyline)
+				}
+				if !reflect.DeepEqual(got.ExtOnly, ref.ExtOnly) {
+					t.Fatalf("%v: extended skyline of δ=%0*b diverges from BNL\n got %v\nwant %v",
+						algo, ds.Dims, delta, got.ExtOnly, ref.ExtOnly)
+				}
+			}
+		}
+	})
+}

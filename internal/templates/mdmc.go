@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skycube/internal/bitset"
 	"skycube/internal/data"
@@ -104,6 +105,37 @@ func PrepareMDMCTraced(ds *data.Dataset, threads, treeDepth, maxLevel int, tr *o
 	}
 }
 
+// Grab hands the next chunk of point tasks to a worker lane, returning
+// lo == hi when the queue is exhausted. It is the template's task-pulling
+// protocol (§4.3): the lane identifies the puller (a CPU worker index or 0
+// for a single-puller GPU) so a scheduler can attribute and size grabs per
+// consumer. Implementations must hand out disjoint ranges whose union is
+// exactly [0, NumTasks) — the differential and chaos tests enforce this.
+type Grab func(lane int) (lo, hi int)
+
+// DefaultPointChunk is the static grab size of the plain CPU template run.
+const DefaultPointChunk = 64
+
+// CounterGrab returns the template's baseline grab source: fixed-size
+// chunks handed out by a shared atomic counter.
+func CounterGrab(n, chunk int) Grab {
+	if chunk < 1 {
+		chunk = DefaultPointChunk
+	}
+	var next int64
+	return func(int) (int, int) {
+		lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+		if lo >= n {
+			return n, n
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+}
+
 // RunMDMC drives a kernel over all point tasks with the given worker count,
 // handing out fixed-size chunks from an atomic counter — the template's
 // synchronisation-free data parallelism. OnChunk, if non-nil, is told how
@@ -116,39 +148,41 @@ func RunMDMC(ctx *MDMCContext, kernel PointKernel, workers int, onChunk func(n i
 // per-worker track ("cpu-0", "cpu-1", …). With a nil trace the only cost
 // over RunMDMC is a pointer test per chunk.
 func RunMDMCTraced(ctx *MDMCContext, kernel PointKernel, workers int, tr *obs.Trace, onChunk func(n int)) {
-	n := ctx.NumTasks()
+	grab := CounterGrab(ctx.NumTasks(), DefaultPointChunk)
+	RunMDMCGrab(ctx, kernel, workers, grab, func(lane, n int, dur time.Duration) {
+		if tr != nil {
+			tr.Record(fmt.Sprintf("cpu-%d", lane), obs.CatChunk, "points", dur, int64(n))
+		}
+		if onChunk != nil {
+			onChunk(n)
+		}
+	})
+}
+
+// RunMDMCGrab drives a kernel with workers independent pullers consuming an
+// arbitrary grab source — the generalised form of the MDMC drain loop that
+// the cross-device scheduler (internal/hetero) plugs its per-device
+// work-stealing queues into. account, if non-nil, is told the lane, size
+// and wall time of every completed chunk.
+func RunMDMCGrab(ctx *MDMCContext, kernel PointKernel, workers int, grab Grab,
+	account func(lane, n int, dur time.Duration)) {
 	if workers < 1 {
 		workers = 1
 	}
-	const chunk = 64
-	var next int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			var track string
-			if tr != nil {
-				track = fmt.Sprintf("cpu-%d", w)
-			}
 			for {
-				lo := int(atomic.AddInt64(&next, chunk)) - chunk
-				if lo >= n {
+				lo, hi := grab(w)
+				if lo >= hi {
 					return
 				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				var h obs.SpanHandle
-				if tr != nil {
-					h = tr.Begin(track, obs.CatChunk, "points")
-					h.SetN(int64(hi - lo))
-				}
+				start := time.Now()
 				kernel(ctx, lo, hi)
-				h.End()
-				if onChunk != nil {
-					onChunk(hi - lo)
+				if account != nil {
+					account(w, hi-lo, time.Since(start))
 				}
 			}
 		}(w)

@@ -160,6 +160,57 @@ type Options struct {
 	// materialised cuboid (lattice algorithms) or completed point chunk
 	// (MDMC). Must be cheap and safe for concurrent calls.
 	Progress ProgressFunc
+	// Scheduling tunes the adaptive work-stealing scheduler of cross-device
+	// runs. The zero value enables stealing, chunk auto-tuning and SDSC's
+	// cost-ordered cuboid assignment with the default knobs.
+	Scheduling Scheduling
+}
+
+// Scheduling configures the adaptive cross-device scheduler (the zero value
+// is the recommended default). Cross-device MDMC feeds per-device queues
+// from a global grab counter, auto-tunes each device's chunk size from its
+// measured throughput, and lets idle devices steal half the remaining range
+// of the most loaded queue; cross-device SDSC hands out each lattice
+// level's cuboids cost-ordered largest-first.
+type Scheduling struct {
+	// DisableStealing turns off work stealing between device queues.
+	DisableStealing bool
+	// DisableRetune freezes chunk sizes at each device's hint instead of
+	// auto-tuning them from the throughput EWMA.
+	DisableRetune bool
+	// DisableCostOrder keeps SDSC's within-level cuboid order numeric
+	// instead of largest-first.
+	DisableCostOrder bool
+	// Prepartition statically splits the MDMC task range equally across the
+	// devices up front (the textbook static schedule; with DisableStealing
+	// it is the baseline of the imbalance experiment).
+	Prepartition bool
+	// MinChunk/MaxChunk clamp the auto-tuned grab size (defaults 16/4096).
+	MinChunk, MaxChunk int
+	// TargetChunkTime is the wall time one grab is tuned to take (default
+	// 2 ms).
+	TargetChunkTime time.Duration
+	// RefillFactor is how many tuned chunks a queue pulls from the global
+	// counter per refill; the surplus is what idle devices can steal
+	// (default 4).
+	RefillFactor int
+}
+
+// SchedCounters total the scheduling events of one cross-device build.
+type SchedCounters = hetero.SchedCounters
+
+func (s Scheduling) tuning(reg *Metrics) hetero.Tuning {
+	return hetero.Tuning{
+		DisableStealing:  s.DisableStealing,
+		DisableRetune:    s.DisableRetune,
+		DisableCostOrder: s.DisableCostOrder,
+		Prepartition:     s.Prepartition,
+		MinChunk:         s.MinChunk,
+		MaxChunk:         s.MaxChunk,
+		TargetChunkTime:  s.TargetChunkTime,
+		RefillFactor:     s.RefillFactor,
+		Metrics:          obs.NewSchedMetrics(reg),
+	}
 }
 
 // SDSCHook names a parallel skyline algorithm for the SDSC template.
@@ -218,6 +269,9 @@ type Stats struct {
 	// GPUModelSeconds is the device cost model's estimate of GPU time, per
 	// card, for GPU runs.
 	GPUModelSeconds []float64
+	// Sched totals the work-stealing scheduler's events for cross-device
+	// MDMC runs (zero otherwise).
+	Sched SchedCounters
 }
 
 // Build materialises the skycube of ds.
@@ -284,7 +338,7 @@ func Build(ds *Dataset, opt Options) (Skycube, Stats, error) {
 			exportGPUMetrics(opt.Metrics, dev.Name, collector, stats.GPUModelSeconds[0])
 		default:
 			devices, collectors := buildDevices(opt, threads)
-			l, shares := hetero.SDSCAllTraced(ds.ds, devices, opt.MaxLevel, tr, onCuboid)
+			l, shares := hetero.SDSCAllSched(ds.ds, devices, opt.MaxLevel, opt.Scheduling.tuning(opt.Metrics), tr, onCuboid)
 			cube = latticeCube{l}
 			stats.Shares = shares.Fractions()
 			stats.GPUModelSeconds = modelSeconds(opt, collectors)
@@ -316,7 +370,9 @@ func Build(ds *Dataset, opt Options) (Skycube, Stats, error) {
 			}
 		default:
 			devices, collectors := buildDevices(opt, threads)
-			res, shares := hetero.MDMCAllTraced(ds.ds, devices, threads, opt.MaxLevel, tr, onChunk)
+			res, shares, sched := hetero.MDMCAllSched(ds.ds, devices, threads, opt.MaxLevel,
+				opt.Scheduling.tuning(opt.Metrics), tr, onChunk)
+			stats.Sched = sched
 			cube = hashCubeView{h: res.Cube, d: d, maxLevel: effectiveLevel(opt.MaxLevel, d)}
 			stats.Shares = shares.Fractions()
 			stats.GPUModelSeconds = modelSeconds(opt, collectors)
