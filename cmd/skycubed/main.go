@@ -12,7 +12,12 @@
 // With -serve, the built skycube is exposed over HTTP (GET /info,
 // /skyline?dims=0,2, /membership?id=17, plus /buildinfo, /metrics and
 // /trace); the server drains in-flight requests and exits cleanly on
-// SIGINT/SIGTERM. -trace writes the build's span timeline as Chrome
+// SIGINT/SIGTERM. -updates (with -serve) runs the server in maintenance
+// mode: reads serve MVCC snapshots (pin one with ?epoch=N) and POST
+// /insert, /delete, /flush, /compact mutate the cube incrementally;
+// -compact-fraction tunes when the background compactor folds the
+// accumulated overlay into a fresh base. -trace writes the build's span
+// timeline as Chrome
 // trace_event JSON (open in about://tracing or ui.perfetto.dev); -progress
 // reports build progress on stderr; -pprof additionally mounts
 // net/http/pprof under /debug/pprof/ on the serving mux.
@@ -55,6 +60,9 @@ func main() {
 	var queries queryList
 	flag.Var(&queries, "query", "subspace to print, as comma-separated dimension indices (repeatable)")
 	serve := flag.String("serve", "", "address to serve the skycube over HTTP (e.g. :8080)")
+	updates := flag.Bool("updates", false, "with -serve: accept incremental inserts/deletes (MDMC, full skycube only)")
+	compactFraction := flag.Float64("compact-fraction", 0, "with -updates: background-compact when the overlay exceeds this fraction of the base (0 = default 0.25)")
+	maxBody := flag.Int64("max-body", 0, "with -updates: mutation request body cap in bytes (0 = default 1 MiB)")
 	traceFile := flag.String("trace", "", "write the build trace as Chrome trace_event JSON to this file")
 	progress := flag.Bool("progress", false, "report build progress on stderr")
 	pprofFlag := flag.Bool("pprof", false, "with -serve: mount net/http/pprof under /debug/pprof/")
@@ -120,6 +128,29 @@ func main() {
 	if *progress {
 		opt.Progress = stderrProgress()
 	}
+
+	if *updates {
+		if *serve == "" {
+			fmt.Fprintln(os.Stderr, "skycubed: -updates requires -serve")
+			os.Exit(2)
+		}
+		opt.Delta = skycube.DeltaOptions{
+			AutoCompact:     true,
+			CompactFraction: *compactFraction,
+		}
+		up, err := skycube.NewUpdater(ds, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(1)
+		}
+		defer up.Close()
+		snap := up.Current()
+		fmt.Printf("built maintainable %s skycube of %d×%d (%d stored ids, epoch %d)\n",
+			algo, ds.Len(), ds.Dims(), snap.IDCount(), snap.Epoch())
+		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody)
+		return
+	}
+
 	cube, stats, err := skycube.Build(ds, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)
@@ -186,13 +217,40 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 		Trace:   opt.Trace,
 		Logger:  log.New(os.Stderr, "skycubed: ", log.LstdFlags),
 	})
-	if withPprof {
-		srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
-		srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
-		srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
-		srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
-		srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+	mountPprof(srv, withPprof)
+	serveAndDrain(addr, srv,
+		"GET /info, /skyline?dims=0,2, /membership?id=17, /buildinfo, /metrics, /trace")
+}
+
+// runUpdaterServer serves a maintainable skycube: snapshot reads plus the
+// mutation endpoints.
+func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, withPprof bool, maxBody int64) {
+	srv := server.NewWith(nil, nil, server.Options{
+		Updater:      up,
+		MaxBodyBytes: maxBody,
+		Metrics:      opt.Metrics,
+		Trace:        opt.Trace,
+		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+	})
+	mountPprof(srv, withPprof)
+	serveAndDrain(addr, srv,
+		"GET /info, /skyline?dims=0,2[&epoch=N], /membership?id=17, /updates; POST /insert, /delete, /flush, /compact")
+}
+
+func mountPprof(srv *server.Server, withPprof bool) {
+	if !withPprof {
+		return
 	}
+	srv.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	srv.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	srv.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	srv.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}
+
+// serveAndDrain runs the HTTP server until SIGINT/SIGTERM, then drains
+// in-flight requests for up to ten seconds.
+func serveAndDrain(addr string, srv *server.Server, endpoints string) {
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -200,7 +258,7 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("serving on %s (GET /info, /skyline?dims=0,2, /membership?id=17, /buildinfo, /metrics, /trace)\n", addr)
+	fmt.Printf("serving on %s (%s)\n", addr, endpoints)
 
 	select {
 	case err := <-errCh:

@@ -7,6 +7,7 @@ package skycube_test
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -96,6 +97,80 @@ func TestDifferentialAllAlgorithms(t *testing.T) {
 						t.Errorf("%s: %d steals recorded with stealing disabled", c.name, stats.Sched.Steals)
 					}
 				}
+			})
+		}
+	}
+}
+
+// TestDifferentialIncremental checks the maintenance path against the
+// one-shot oracle: build an updater over a prefix of the dataset, insert
+// the remaining tail and delete a random sample in two batches, then
+// compare every cuboid and every live membership of the flushed (and then
+// compacted) snapshot with a from-scratch QSkycube build over the final
+// point set. Inserted ids continue the row sequence, so the live id set
+// indexes the generated dataset directly.
+func TestDifferentialIncremental(t *testing.T) {
+	dists := []struct {
+		name string
+		dist skycube.Distribution
+	}{
+		{"correlated", skycube.Correlated},
+		{"independent", skycube.Independent},
+		{"anticorrelated", skycube.Anticorrelated},
+	}
+	for _, dc := range dists {
+		for d := 2; d <= 6; d++ {
+			n, tail, deletes := 500, 120, 150
+			if dc.dist == skycube.Anticorrelated && d >= 5 {
+				// Anticorrelated extended skylines explode with d; keep the
+				// per-insert refinement and the oracle affordable.
+				n, tail, deletes = 250, 60, 80
+			}
+			name := fmt.Sprintf("%s/d=%d/n=%d", dc.name, d, n)
+			t.Run(name, func(t *testing.T) {
+				seed := int64(97*d) + int64(len(dc.name))
+				full := skycube.GenerateSynthetic(dc.dist, n+tail, d, seed)
+				baseRows := make([][]float32, n)
+				for i := range baseRows {
+					baseRows[i] = full.Point(i)
+				}
+				base, err := skycube.DatasetFromRows(baseRows)
+				if err != nil {
+					t.Fatal(err)
+				}
+				up, err := skycube.NewUpdater(base, skycube.Options{Threads: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer up.Close()
+
+				live := make([]int32, n)
+				for i := range live {
+					live[i] = int32(i)
+				}
+				rng := rand.New(rand.NewSource(seed + 1))
+				for batch := 0; batch < 2; batch++ {
+					lo, hi := batch*tail/2, (batch+1)*tail/2
+					for i := lo; i < hi; i++ {
+						id, err := up.Insert(full.Point(n + i))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if id != int32(n+i) {
+							t.Fatalf("insert %d assigned id %d", n+i, id)
+						}
+						live = append(live, id)
+					}
+					for k := 0; k < deletes/2 && len(live) > 1; k++ {
+						idx := rng.Intn(len(live))
+						if err := up.Delete(live[idx]); err != nil {
+							t.Fatal(err)
+						}
+						live = append(live[:idx], live[idx+1:]...)
+					}
+					checkAgainstFreshBuild(t, up.Flush(), live)
+				}
+				checkAgainstFreshBuild(t, up.Compact(), live)
 			})
 		}
 	}

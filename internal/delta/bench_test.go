@@ -1,0 +1,91 @@
+package delta
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"skycube/internal/gen"
+)
+
+// BenchmarkFlushInserts measures update throughput (inserts/s) as a
+// function of batch size: each iteration buffers `batch` random points and
+// flushes once, so the per-batch fixed costs — snapshot publication, patch
+// merging, override maintenance — are amortised over more points as the
+// batch grows. The EXPERIMENTS.md update-throughput recipe plots this.
+func BenchmarkFlushInserts(b *testing.B) {
+	const d = 5
+	for _, batch := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			ds := gen.Synthetic(gen.Independent, 20000, d, 1)
+			u := NewUpdater(ds, Options{Threads: runtime.NumCPU()})
+			defer u.Close()
+			rng := rand.New(rand.NewSource(2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < batch; k++ {
+					p := make([]float32, d)
+					for j := range p {
+						p[j] = rng.Float32()
+					}
+					if _, err := u.Insert(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+				u.Flush()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "inserts/s")
+		})
+	}
+}
+
+// BenchmarkCompactionFraction sweeps the compaction threshold under a
+// mixed insert/delete workload: a lower fraction rebuilds the base more
+// often (costly, but keeps the overlay — and hence read overhead — small),
+// a higher one lets patches pile up. Compaction is triggered synchronously
+// from the measured loop so its cost lands inside the timing, and the
+// compactions/op metric shows how often each setting pays it.
+func BenchmarkCompactionFraction(b *testing.B) {
+	const d, batch = 5, 50
+	for _, frac := range []float64{0.02, 0.10, 0.25, 1.0} {
+		b.Run(fmt.Sprintf("frac=%g", frac), func(b *testing.B) {
+			ds := gen.Synthetic(gen.Independent, 20000, d, 3)
+			u := NewUpdater(ds, Options{Threads: runtime.NumCPU()})
+			defer u.Close()
+			rng := rand.New(rand.NewSource(4))
+			live := make([]int32, ds.N)
+			for i := range live {
+				live[i] = int32(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < batch; k++ {
+					p := make([]float32, d)
+					for j := range p {
+						p[j] = rng.Float32()
+					}
+					id, err := u.Insert(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					live = append(live, id)
+				}
+				for k := 0; k < batch/2 && len(live) > 100; k++ {
+					idx := rng.Intn(len(live))
+					if err := u.Delete(live[idx]); err != nil {
+						b.Fatal(err)
+					}
+					live = append(live[:idx], live[idx+1:]...)
+				}
+				u.Flush()
+				if st := u.Stats(); float64(st.Overlay) >= frac*float64(st.BasePoints) {
+					u.Compact()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(u.Stats().Compactions)/float64(b.N), "compactions/op")
+		})
+	}
+}

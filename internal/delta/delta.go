@@ -1,0 +1,851 @@
+// Package delta maintains a built skycube under batched point inserts and
+// deletes, serving lock-free MVCC snapshots while a writer applies batches
+// and a background compactor folds the accumulated overlay into fresh full
+// builds.
+//
+// The paper's templates compute a skycube once; this package keeps that
+// result alive as the dataset changes, by reusing the same machinery
+// incrementally:
+//
+//   - An insert is a single-point MDMC task. The new point is routed
+//     through the retained global pivots (stree.Tree.Route), filtered
+//     against the static tree's path labels (FilterExternal) and refined
+//     with exact dominance tests (RefineExternal), yielding its B_{p∉S}
+//     exactly as a build-time point task would — in O(filter + refine)
+//     instead of a full rebuild. The reverse direction (the insert
+//     dominating existing points) is a second leaf-order scan emitting
+//     mask patches.
+//   - A delete tombstones the victim and enqueues exactly the cuboids in
+//     which it was a skyline member for recompute on the device pool
+//     (hetero.ComputeCuboids): removing a non-member of S_δ can never
+//     change S_δ, because dominance chains terminate at members.
+//   - Serving is MVCC: each applied batch publishes a new immutable
+//     Snapshot layering copy-on-write overlays (tombstones, mask patches,
+//     added-point masks, per-cuboid overrides) over a shared immutable
+//     base cube. Readers pin an epoch by loading a pointer and are never
+//     blocked; a bounded history ring keeps recent epochs addressable.
+//   - When the overlay exceeds a configurable fraction of the base, a
+//     compaction rebuilds the base over the live points (scheduled across
+//     the configured devices) and resets the overlay.
+//
+// One subtlety deserves a name: the loose set. Points outside the extended
+// skyline S⁺(P) are absent from the static tree, which is sound while
+// their full-space strict dominators live. When a delete kills such a
+// dominator, the outsiders it strictly dominated are promoted to "loose"
+// dominance sources: future inserts must test against them, since the tree
+// no longer vouches for them. Their own memberships need no tracking — a
+// non-member only joins S_δ when a member of S_δ dies, and that cuboid is
+// recomputed exactly.
+package delta
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skycube/internal/bitset"
+	"skycube/internal/data"
+	"skycube/internal/hashcube"
+	"skycube/internal/hetero"
+	"skycube/internal/mask"
+	"skycube/internal/obs"
+	"skycube/internal/templates"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultCompactFraction   = 0.25
+	DefaultHistory           = 8
+	DefaultMinCompactOverlay = 64
+)
+
+// Options configure an Updater.
+type Options struct {
+	// Threads is the CPU worker count for builds, recomputes and insert
+	// solves; 0 means all cores.
+	Threads int
+	// Devices is the pool cuboid recomputes and compactions are scheduled
+	// on; empty means one CPU device over Threads cores.
+	Devices []hetero.Device
+	// CompactFraction triggers auto-compaction when the overlay entry count
+	// exceeds this fraction of the base's point count. 0 means
+	// DefaultCompactFraction; negative disables the trigger.
+	CompactFraction float64
+	// AutoCompact runs compactions in a background goroutine when the
+	// trigger fires. Without it, compaction only happens via Compact.
+	AutoCompact bool
+	// History is how many recent snapshots stay addressable by epoch for
+	// pinned reads; 0 means DefaultHistory.
+	History int
+	// MinCompactOverlay is the overlay floor below which auto-compaction
+	// never fires (avoids rebuild churn on tiny bases); 0 means
+	// DefaultMinCompactOverlay, negative means no floor.
+	MinCompactOverlay int
+	// Metrics, if non-nil, receives batch/epoch/compaction observations.
+	Metrics *obs.DeltaMetrics
+}
+
+// Updater owns the mutable write side: it buffers inserts and deletes,
+// applies them as batches, and publishes immutable Snapshots. All write
+// methods are safe for concurrent use; reads go through Current/At and
+// never contend with the writer.
+type Updater struct {
+	d       int
+	threads int
+	opt     Options
+
+	// mu serialises batch application, compaction, and all fields below.
+	mu sync.Mutex
+	// vals/ids back every snapshot's dataset header: row i is point id i,
+	// append-only, so published headers stay valid forever.
+	vals []float32
+	ids  []int32
+	n    int
+	// dead holds every id ever deleted (and cancelled pending inserts).
+	dead map[int32]struct{}
+
+	// Base-build artefacts, replaced wholesale by each compaction.
+	mctx *templates.MDMCContext
+	// treeID maps a tree sorted position to its logical id; treePos is the
+	// inverse; posLeaf maps a sorted position to its leaf index.
+	treeID  []int32
+	treePos map[int32]int
+	posLeaf []int32
+	// leafDead counts deleted points per tree leaf, for filter liveness.
+	leafDead []int
+	// outsiders are live base-era ids outside S⁺ of the base, still
+	// vouched for by a live full-space dominator; loose are the promoted
+	// ones that future inserts must test against directly.
+	outsiders map[int32]struct{}
+	loose     map[int32]struct{}
+
+	cur atomic.Pointer[Snapshot]
+
+	histMu sync.Mutex
+	hist   []*Snapshot
+
+	// pendMu guards the not-yet-applied batch. Lock order: mu before pendMu.
+	pendMu      sync.Mutex
+	pendInserts []pendingInsert
+	pendDeleted map[int32]struct{}
+	nextID      int32
+
+	compactCh   chan struct{}
+	closed      chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+	compactions int64
+}
+
+type pendingInsert struct {
+	id        int32
+	point     []float32
+	cancelled bool
+}
+
+// NewUpdater builds the initial skycube over ds (epoch 1) and returns an
+// updater maintaining it. Point ids are assigned by row: ds row i is id i,
+// and inserts continue from ds.N. ds's values are copied; the caller may
+// reuse it.
+func NewUpdater(ds *data.Dataset, opt Options) *Updater {
+	d := ds.Dims
+	threads := opt.Threads
+	if threads < 1 {
+		threads = runtime.NumCPU()
+	}
+	u := &Updater{
+		d:           d,
+		threads:     threads,
+		opt:         opt,
+		vals:        append([]float32(nil), ds.Vals[:ds.N*d]...),
+		ids:         make([]int32, ds.N),
+		n:           ds.N,
+		dead:        make(map[int32]struct{}),
+		pendDeleted: make(map[int32]struct{}),
+		nextID:      int32(ds.N),
+		compactCh:   make(chan struct{}, 1),
+		closed:      make(chan struct{}),
+	}
+	for i := range u.ids {
+		u.ids[i] = int32(i)
+	}
+	u.mu.Lock()
+	snap := u.buildBaseLocked(1)
+	u.publish(snap)
+	u.mu.Unlock()
+	opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
+	if opt.AutoCompact {
+		u.wg.Add(1)
+		go u.compactLoop()
+	}
+	return u
+}
+
+// Close stops the background compactor. The current snapshot stays valid.
+func (u *Updater) Close() {
+	u.closeOnce.Do(func() { close(u.closed) })
+	u.wg.Wait()
+}
+
+// Current returns the latest published snapshot.
+func (u *Updater) Current() *Snapshot { return u.cur.Load() }
+
+// At returns the snapshot at the given epoch if it is still in the history
+// ring, or nil if it was evicted (or never existed).
+func (u *Updater) At(epoch uint64) *Snapshot {
+	u.histMu.Lock()
+	defer u.histMu.Unlock()
+	for _, s := range u.hist {
+		if s.epoch == epoch {
+			return s
+		}
+	}
+	return nil
+}
+
+// Insert buffers one point for the next batch and returns its assigned id.
+// The point is not visible until Flush applies the batch.
+func (u *Updater) Insert(point []float32) (int32, error) {
+	if len(point) != u.d {
+		return 0, fmt.Errorf("delta: point has %d dims, want %d", len(point), u.d)
+	}
+	cp := append([]float32(nil), point...)
+	u.pendMu.Lock()
+	defer u.pendMu.Unlock()
+	id := u.nextID
+	u.nextID++
+	u.pendInserts = append(u.pendInserts, pendingInsert{id: id, point: cp})
+	return id, nil
+}
+
+// Delete buffers the deletion of a live point (or cancels a same-batch
+// pending insert). Validation is eager: unknown and already-deleted ids
+// are rejected immediately.
+func (u *Updater) Delete(id int32) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.pendMu.Lock()
+	defer u.pendMu.Unlock()
+	if id < 0 || id >= u.nextID {
+		return fmt.Errorf("delta: unknown id %d", id)
+	}
+	if _, dead := u.dead[id]; dead {
+		return fmt.Errorf("delta: id %d already deleted", id)
+	}
+	if _, dup := u.pendDeleted[id]; dup {
+		return fmt.Errorf("delta: id %d already pending deletion", id)
+	}
+	if id >= int32(u.n) {
+		// A pending insert: cancel it in place.
+		for i := range u.pendInserts {
+			if u.pendInserts[i].id == id {
+				if u.pendInserts[i].cancelled {
+					return fmt.Errorf("delta: id %d already deleted", id)
+				}
+				u.pendInserts[i].cancelled = true
+				return nil
+			}
+		}
+		return fmt.Errorf("delta: unknown id %d", id)
+	}
+	u.pendDeleted[id] = struct{}{}
+	return nil
+}
+
+// Pending reports the buffered batch size: inserts (minus cancellations)
+// and deletes awaiting the next Flush.
+func (u *Updater) Pending() (inserts, deletes int) {
+	u.pendMu.Lock()
+	defer u.pendMu.Unlock()
+	for _, pi := range u.pendInserts {
+		if !pi.cancelled {
+			inserts++
+		}
+	}
+	return inserts, len(u.pendDeleted)
+}
+
+// Flush applies the buffered batch and returns the snapshot serving it
+// (the current snapshot when the batch was empty).
+func (u *Updater) Flush() *Snapshot {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.applyLocked()
+}
+
+// Compact forces a full rebuild over the live points, folding the overlay
+// into a new base, and returns the fresh snapshot.
+func (u *Updater) Compact() *Snapshot {
+	u.mu.Lock()
+	start := time.Now()
+	prev := u.cur.Load()
+	snap := u.buildBaseLocked(prev.epoch + 1)
+	u.publish(snap)
+	u.mu.Unlock()
+	atomic.AddInt64(&u.compactions, 1)
+	u.opt.Metrics.Compaction(time.Since(start), snap.base.points)
+	u.opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
+	return snap
+}
+
+// Stats is a point-in-time view of the updater for diagnostics endpoints.
+type Stats struct {
+	Epoch          uint64 `json:"epoch"`
+	Live           int    `json:"live"`
+	Dead           int    `json:"dead"`
+	Overlay        int    `json:"overlay"`
+	BasePoints     int    `json:"base_points"`
+	PendingInserts int    `json:"pending_inserts"`
+	PendingDeletes int    `json:"pending_deletes"`
+	Compactions    int64  `json:"compactions"`
+}
+
+// Stats returns current counters. Dead counts against the current base
+// generation's view (all-time deletes including cancelled inserts).
+func (u *Updater) Stats() Stats {
+	snap := u.cur.Load()
+	ins, del := u.Pending()
+	return Stats{
+		Epoch:          snap.epoch,
+		Live:           snap.live,
+		Dead:           snap.ds.N - snap.live,
+		Overlay:        snap.OverlaySize(),
+		BasePoints:     snap.base.points,
+		PendingInserts: ins,
+		PendingDeletes: del,
+		Compactions:    atomic.LoadInt64(&u.compactions),
+	}
+}
+
+// ---- write path ----
+
+// datasetHeader returns an immutable view of the logical dataset: row i is
+// point id i, dead rows included. Appends to u.vals never disturb already
+// published headers (old epochs keep the old backing array or a disjoint
+// prefix of the same one).
+func (u *Updater) datasetHeader() *data.Dataset {
+	nv := u.n * u.d
+	return &data.Dataset{Dims: u.d, N: u.n, Vals: u.vals[:nv:nv], IDs: u.ids[:u.n:u.n]}
+}
+
+func (u *Updater) point(id int32) []float32 {
+	return u.vals[int(id)*u.d : (int(id)+1)*u.d]
+}
+
+func (u *Updater) liveRows() []int32 {
+	out := make([]int32, 0, u.n-len(u.dead))
+	for i := 0; i < u.n; i++ {
+		if _, dead := u.dead[int32(i)]; !dead {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func (u *Updater) devices() []hetero.Device {
+	if len(u.opt.Devices) > 0 {
+		return u.opt.Devices
+	}
+	return []hetero.Device{&hetero.CPUDevice{Threads: u.threads}}
+}
+
+// buildBaseLocked runs a full build over the live points and resets all
+// base-generation state (tree routing tables, liveness counters, the
+// loose/outsider split). Caller holds u.mu.
+func (u *Updater) buildBaseLocked(epoch uint64) *Snapshot {
+	header := u.datasetHeader()
+	live := u.liveRows()
+	if len(live) == 0 {
+		u.mctx = &templates.MDMCContext{D: u.d, MaxLevel: u.d, Cube: hashcube.New(u.d)}
+		u.treeID, u.treePos, u.posLeaf, u.leafDead = nil, map[int32]int{}, nil, nil
+		u.outsiders, u.loose = map[int32]struct{}{}, map[int32]struct{}{}
+		return &Snapshot{
+			epoch: epoch, d: u.d, ds: header,
+			base: &baseCube{h: u.mctx.Cube, ids: []int32{}, row: map[int32]int32{}},
+		}
+	}
+	sub := header
+	identity := len(live) == u.n
+	if !identity {
+		intRows := make([]int, len(live))
+		for i, r := range live {
+			intRows[i] = int(r)
+		}
+		sub = header.Subset(intRows)
+	}
+	ctx := templates.PrepareMDMC(sub, u.threads, 3, 0)
+	hetero.MDMCRunPrepared(ctx, u.devices(), hetero.Tuning{}, nil, nil)
+
+	base := &baseCube{h: ctx.Cube, points: sub.N}
+	if !identity {
+		base.ids = sub.IDs
+		base.row = make(map[int32]int32, sub.N)
+		for r, id := range sub.IDs {
+			base.row[id] = int32(r)
+		}
+	}
+
+	tree := ctx.Tree
+	u.mctx = ctx
+	u.treeID = tree.Data.IDs
+	u.treePos = make(map[int32]int, len(u.treeID))
+	for pos, id := range u.treeID {
+		u.treePos[id] = pos
+	}
+	u.posLeaf = make([]int32, tree.Data.N)
+	for li, lf := range tree.Leaves {
+		for pos := lf.Start; pos < lf.End; pos++ {
+			u.posLeaf[pos] = int32(li)
+		}
+	}
+	u.leafDead = make([]int, len(tree.Leaves))
+	ext := make(map[int32]struct{}, len(ctx.ExtRows))
+	for _, r := range ctx.ExtRows {
+		ext[sub.IDs[r]] = struct{}{}
+	}
+	u.outsiders = make(map[int32]struct{}, len(live)-len(ext))
+	for _, id := range live {
+		if _, in := ext[id]; !in {
+			u.outsiders[id] = struct{}{}
+		}
+	}
+	u.loose = map[int32]struct{}{}
+
+	return &Snapshot{epoch: epoch, d: u.d, ds: header, base: base, live: len(live)}
+}
+
+// applyLocked applies the buffered batch: tombstone deletes first, then
+// solve inserts against the post-delete live set, then recompute exactly
+// the cuboids the victims were members of — over the final live set, so
+// the overrides are exact at the new epoch. Caller holds u.mu.
+func (u *Updater) applyLocked() *Snapshot {
+	u.pendMu.Lock()
+	inserts := u.pendInserts
+	deleted := u.pendDeleted
+	u.pendInserts = nil
+	u.pendDeleted = make(map[int32]struct{})
+	u.pendMu.Unlock()
+	prev := u.cur.Load()
+	if len(inserts) == 0 && len(deleted) == 0 {
+		return prev
+	}
+	start := time.Now()
+	total := mask.NumSubspaces(u.d)
+
+	victims := make([]int32, 0, len(deleted))
+	for id := range deleted {
+		victims = append(victims, id)
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a] < victims[b] })
+
+	// Cuboids where a victim was a member must be recomputed; everywhere
+	// else the delete is invisible (non-members never shield anything).
+	affected := make(map[mask.Mask]struct{})
+	for _, v := range victims {
+		for _, delta := range prev.Membership(v) {
+			affected[delta] = struct{}{}
+		}
+	}
+
+	// Tombstone victims in writer state, and promote outsiders whose
+	// full-space vouching dominator might just have died.
+	for _, v := range victims {
+		u.dead[v] = struct{}{}
+		if pos, ok := u.treePos[v]; ok {
+			u.leafDead[u.posLeaf[pos]]++
+		}
+		delete(u.loose, v)
+		delete(u.outsiders, v)
+	}
+	if len(u.outsiders) > 0 {
+		for _, v := range victims {
+			vp := u.point(v)
+			for q := range u.outsiders {
+				if strictlyDominatesFull(vp, u.point(q)) {
+					u.loose[q] = struct{}{}
+					delete(u.outsiders, q)
+				}
+			}
+		}
+	}
+
+	// Append all insert rows (cancelled ones too — ids are positional) and
+	// collect the live ones.
+	lives := make([]pendingInsert, 0, len(inserts))
+	for _, pi := range inserts {
+		u.vals = append(u.vals, pi.point...)
+		u.ids = append(u.ids, pi.id)
+		u.n++
+		if pi.cancelled {
+			u.dead[pi.id] = struct{}{}
+			continue
+		}
+		lives = append(lives, pi)
+	}
+
+	// Copy-on-write overlay clones. Individual bitsets stay shared with
+	// prev until first written this batch (clonedA/clonedP track that).
+	tomb := make(map[int32]struct{}, len(prev.tomb)+len(victims))
+	for id := range prev.tomb {
+		tomb[id] = struct{}{}
+	}
+	for _, v := range victims {
+		tomb[v] = struct{}{}
+	}
+	added := make(map[int32]*bitset.Set, len(prev.added)+len(lives))
+	for id, m := range prev.added {
+		added[id] = m
+	}
+	patched := make(map[int32]*bitset.Set, len(prev.patched))
+	for id, m := range prev.patched {
+		patched[id] = m
+	}
+	cuboids := make(map[mask.Mask][]int32, len(prev.cuboids)+len(affected))
+	for delta, list := range prev.cuboids {
+		cuboids[delta] = list
+	}
+
+	// Dominance sources beyond the tree: earlier added points and loose
+	// outsiders, both restricted to live. Earlier added points are also
+	// patch targets (an insert can dominate them).
+	var prevAddedLive, extras []int32
+	for id := range prev.added {
+		if _, dead := u.dead[id]; !dead {
+			prevAddedLive = append(prevAddedLive, id)
+		}
+	}
+	sort.Slice(prevAddedLive, func(a, b int) bool { return prevAddedLive[a] < prevAddedLive[b] })
+	extras = append(extras, prevAddedLive...)
+	for id := range u.loose {
+		if _, dead := u.dead[id]; !dead {
+			extras = append(extras, id)
+		}
+	}
+	sort.Slice(extras, func(a, b int) bool { return extras[a] < extras[b] })
+
+	// Phase A: solve each live insert as a single-point MDMC task, in
+	// parallel. Workers only read writer state (frozen for the batch).
+	results := make([]*bitset.Set, len(lives))
+	patches := make([][]patchEntry, len(lives))
+	if len(lives) > 0 {
+		tree := u.mctx.Tree
+		var leafAlive func(li int) bool
+		var alive func(pos int) bool
+		if tree != nil && len(u.dead) > 0 {
+			leafAlive = func(li int) bool { return u.leafDead[li] < tree.Leaves[li].Len() }
+			alive = func(pos int) bool {
+				_, dead := u.dead[u.treeID[pos]]
+				return !dead
+			}
+		}
+		workers := u.threads
+		if workers > len(lives) {
+			workers = len(lives)
+		}
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sol := templates.NewSolution(u.mctx)
+				exp := newExpander(total)
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(lives) {
+						return
+					}
+					results[i], patches[i] = u.solveInsert(sol, exp, lives[i].point,
+						extras, prevAddedLive, leafAlive, alive)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Phase B: cross-DTs among the batch's own inserts (sequential; each
+	// pair is two coordinate comparisons).
+	exp := newExpander(total)
+	for i := range lives {
+		for j := range lives {
+			if i == j {
+				continue
+			}
+			lt, eq := cmpMasks(lives[j].point, lives[i].point)
+			if lt != 0 {
+				results[i].Or(exp.dominated(lt, lt|eq))
+			}
+		}
+	}
+	for i, pi := range lives {
+		added[pi.id] = results[i]
+	}
+
+	// Merge the reverse-direction patches: existing points the inserts
+	// newly dominate get their masks grown (clone-on-first-write).
+	clonedA := make(map[int32]bool)
+	clonedP := make(map[int32]bool)
+	for i := range lives {
+		for _, pe := range patches[i] {
+			if m, ok := added[pe.id]; ok {
+				if !clonedA[pe.id] {
+					m = m.Clone()
+					added[pe.id] = m
+					clonedA[pe.id] = true
+				}
+				m.Or(pe.bits)
+				continue
+			}
+			m := patched[pe.id]
+			switch {
+			case m == nil:
+				m = bitset.New(total)
+				patched[pe.id] = m
+			case !clonedP[pe.id]:
+				m = m.Clone()
+				patched[pe.id] = m
+			}
+			clonedP[pe.id] = true
+			m.Or(pe.bits)
+		}
+	}
+
+	// Maintain override lists the recompute below won't touch: drop
+	// members an insert now dominates, add inserts that are members there.
+	for delta, list := range cuboids {
+		if _, re := affected[delta]; re {
+			continue
+		}
+		changed := false
+		newList := make([]int32, 0, len(list)+len(lives))
+		for _, qid := range list {
+			if _, dead := u.dead[qid]; dead {
+				changed = true
+				continue
+			}
+			dominated := false
+			for i := range lives {
+				if dominatesIn(lives[i].point, u.point(qid), delta) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				changed = true
+				continue
+			}
+			newList = append(newList, qid)
+		}
+		for i, pi := range lives {
+			if !results[i].Test(int(delta) - 1) {
+				newList = append(newList, pi.id)
+				changed = true
+			}
+		}
+		if changed {
+			cuboids[delta] = newList
+		}
+	}
+
+	// Recompute the victims' cuboids exactly, over the final live set and
+	// across the device pool. Row indices in the header are logical ids.
+	if len(affected) > 0 {
+		deltas := make([]mask.Mask, 0, len(affected))
+		for delta := range affected {
+			deltas = append(deltas, delta)
+		}
+		sort.Slice(deltas, func(a, b int) bool { return deltas[a] < deltas[b] })
+		res := hetero.ComputeCuboids(u.datasetHeader(), u.liveRows(), deltas, u.devices())
+		for delta, list := range res {
+			cuboids[delta] = list
+		}
+	}
+
+	snap := &Snapshot{
+		epoch: prev.epoch + 1, d: u.d, ds: u.datasetHeader(),
+		base: prev.base, tomb: tomb, added: added, patched: patched,
+		cuboids: cuboids, live: prev.live + len(lives) - len(victims),
+	}
+	u.publish(snap)
+	u.opt.Metrics.Batch(len(lives), len(victims), len(affected), time.Since(start))
+	u.opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
+	u.maybeCompact(snap)
+	return snap
+}
+
+// solveInsert computes one insert's B_{p∉S} (forward direction) and the
+// mask patches it inflicts on existing points (reverse direction).
+func (u *Updater) solveInsert(sol *templates.Solution, exp *expander, p []float32,
+	extras, prevAddedLive []int32, leafAlive func(int) bool, alive func(int) bool) (*bitset.Set, []patchEntry) {
+	sol.Reset()
+	tree := u.mctx.Tree
+	full := mask.Full(u.d)
+	if tree != nil {
+		medP, quartP, octP := tree.Route(p)
+		sol.FilterExternal(medP, quartP, octP, 2, leafAlive)
+		if sol.Remaining() > 0 {
+			sol.RefineExternal(p, medP, quartP, octP, true, alive)
+		}
+	}
+	for _, id := range extras {
+		if sol.Remaining() == 0 {
+			break
+		}
+		sol.ApplyDT(u.point(id), p, full, true)
+	}
+	res := sol.NotInS().Clone()
+
+	// Reverse scan: which live points does p dominate, and in which
+	// subspaces? Tree points in leaf order, then earlier added points.
+	var plist []patchEntry
+	if tree != nil {
+		for pos := 0; pos < tree.Data.N; pos++ {
+			if alive != nil && !alive(pos) {
+				continue
+			}
+			lt, eq := cmpMasks(p, tree.Data.Point(pos))
+			if lt != 0 {
+				plist = append(plist, patchEntry{id: u.treeID[pos], bits: exp.dominated(lt, lt|eq)})
+			}
+		}
+	}
+	for _, id := range prevAddedLive {
+		lt, eq := cmpMasks(p, u.point(id))
+		if lt != 0 {
+			plist = append(plist, patchEntry{id: id, bits: exp.dominated(lt, lt|eq)})
+		}
+	}
+	return res, plist
+}
+
+func (u *Updater) publish(snap *Snapshot) {
+	u.cur.Store(snap)
+	keep := u.opt.History
+	if keep == 0 {
+		keep = DefaultHistory
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	u.histMu.Lock()
+	u.hist = append(u.hist, snap)
+	if len(u.hist) > keep {
+		u.hist = u.hist[len(u.hist)-keep:]
+	}
+	u.histMu.Unlock()
+}
+
+func (u *Updater) maybeCompact(snap *Snapshot) {
+	if !u.opt.AutoCompact {
+		return
+	}
+	frac := u.opt.CompactFraction
+	if frac == 0 {
+		frac = DefaultCompactFraction
+	}
+	if frac < 0 {
+		return
+	}
+	floor := u.opt.MinCompactOverlay
+	if floor == 0 {
+		floor = DefaultMinCompactOverlay
+	}
+	ov := snap.OverlaySize()
+	if ov < floor || float64(ov) < frac*float64(snap.base.points) {
+		return
+	}
+	select {
+	case u.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+func (u *Updater) compactLoop() {
+	defer u.wg.Done()
+	for {
+		select {
+		case <-u.closed:
+			return
+		case <-u.compactCh:
+			u.Compact()
+		}
+	}
+}
+
+// ---- dominance helpers ----
+
+type patchEntry struct {
+	id   int32
+	bits *bitset.Set
+}
+
+// expander memoises the expansion of a DT's (lt, lt|eq) mask pair into the
+// bitset of dominated subspaces — submasks of lt|eq intersecting lt. The
+// returned sets are shared and must never be mutated.
+type expander struct {
+	total int
+	memo  map[uint64]*bitset.Set
+}
+
+func newExpander(total int) *expander {
+	return &expander{total: total, memo: make(map[uint64]*bitset.Set)}
+}
+
+func (e *expander) dominated(lt, m mask.Mask) *bitset.Set {
+	key := uint64(lt)<<32 | uint64(m)
+	if b, ok := e.memo[key]; ok {
+		return b
+	}
+	b := bitset.New(e.total)
+	mask.SubmasksOf(m, func(sub mask.Mask) bool {
+		if sub&lt != 0 {
+			b.Set(int(sub) - 1)
+		}
+		return true
+	})
+	e.memo[key] = b
+	return b
+}
+
+// cmpMasks returns the dims where p is strictly below q and where they tie.
+func cmpMasks(p, q []float32) (lt, eq mask.Mask) {
+	for j := range p {
+		if p[j] < q[j] {
+			lt |= 1 << uint(j)
+		} else if p[j] == q[j] {
+			eq |= 1 << uint(j)
+		}
+	}
+	return lt, eq
+}
+
+// strictlyDominatesFull reports a < b on every dimension.
+func strictlyDominatesFull(a, b []float32) bool {
+	for j := range a {
+		if a[j] >= b[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatesIn reports whether a dominates b in subspace delta: a ≤ b on
+// every dim of delta, strictly on at least one.
+func dominatesIn(a, b []float32, delta mask.Mask) bool {
+	strict := false
+	for j := 0; delta != 0; j, delta = j+1, delta>>1 {
+		if delta&1 == 0 {
+			continue
+		}
+		if a[j] > b[j] {
+			return false
+		}
+		if a[j] < b[j] {
+			strict = true
+		}
+	}
+	return strict
+}

@@ -132,6 +132,80 @@ func (h *HashCube) Membership(id int32) []mask.Mask {
 	return out
 }
 
+// Remove deletes every stored occurrence of id — the tombstone hook of
+// incremental maintenance. Removing an id that was never inserted (or whose
+// words were all fully dominated) is a no-op. List order within a key is
+// not preserved: Skyline sorts its output and Membership only scans, so no
+// reader depends on it.
+func (h *HashCube) Remove(id int32) {
+	for w := range h.words {
+		t := &h.words[w]
+		t.mu.Lock()
+		for key, ids := range t.m {
+			for i, v := range ids {
+				if v != id {
+					continue
+				}
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				if len(ids) == 0 {
+					delete(t.m, key)
+				} else {
+					t.m[key] = ids
+				}
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Patch augments id's stored non-membership mask with the set bits of
+// extra, relocating the id between hash keys: masks only grow under
+// inserts (a new point can only dominate existing points in more
+// subspaces), so the patch ORs per word. A word whose key becomes fully
+// dominated is dropped entirely, preserving the representation's
+// compression invariant; a word from which the id is already absent stays
+// absent (it was fully dominated before, and remains so).
+func (h *HashCube) Patch(id int32, extra *bitset.Set) {
+	for w := range h.words {
+		x := extra.Word32(w)
+		if x == 0 {
+			continue
+		}
+		t := &h.words[w]
+		t.mu.Lock()
+		for key, ids := range t.m {
+			found := false
+			for i, v := range ids {
+				if v != id {
+					continue
+				}
+				found = true
+				nk := key | x
+				if nk == key {
+					break
+				}
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				if len(ids) == 0 {
+					delete(t.m, key)
+				} else {
+					t.m[key] = ids
+				}
+				if nk != h.fullWordMask(w) {
+					t.m[nk] = append(t.m[nk], id)
+				}
+				break
+			}
+			if found {
+				break
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
 // IDCount returns the total number of stored ids — the HashCube's
 // space measure, comparable with Lattice.IDCount.
 func (h *HashCube) IDCount() int {

@@ -3,6 +3,7 @@ package hashcube
 import (
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -61,6 +62,84 @@ func TestQuickInsertRetrieveRoundTrip(t *testing.T) {
 			}
 			v[0] = reflect.ValueOf(masks)
 			v[1] = reflect.ValueOf(uint8(rng.Intn(256)))
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any interleaving of Insert, Patch and Remove leaves the cube
+// indistinguishable — Skyline and Membership over every subspace — from a
+// cube rebuilt from scratch out of the surviving ids' final masks. This is
+// the contract the incremental-maintenance overlay (internal/delta) and
+// the in-place mutation hooks share.
+func TestQuickMutateEquivalentToRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(5) // 2..6 dims → crosses the 32-bit word boundary at d=6
+		total := mask.NumSubspaces(d)
+		h := New(d)
+		shadow := make(map[int32]*bitset.Set)
+		nextID := int32(0)
+
+		randMask := func() *bitset.Set {
+			b := bitset.New(total)
+			for bit := 0; bit < total; bit++ {
+				if rng.Intn(3) == 0 {
+					b.Set(bit)
+				}
+			}
+			return b
+		}
+		ids := func() []int32 {
+			out := make([]int32, 0, len(shadow))
+			for id := range shadow {
+				out = append(out, id)
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+			return out
+		}
+
+		for op := 0; op < 120; op++ {
+			switch live := ids(); {
+			case len(live) == 0 || rng.Intn(3) == 0: // insert
+				m := randMask()
+				h.Insert(nextID, m)
+				shadow[nextID] = m
+				nextID++
+			case rng.Intn(2) == 0: // patch
+				id := live[rng.Intn(len(live))]
+				extra := randMask()
+				h.Patch(id, extra)
+				shadow[id].Or(extra)
+			default: // remove
+				id := live[rng.Intn(len(live))]
+				h.Remove(id)
+				delete(shadow, id)
+			}
+		}
+
+		rebuilt := New(d)
+		for id, m := range shadow {
+			rebuilt.Insert(id, m)
+		}
+		for delta := mask.Mask(1); int(delta) <= total; delta++ {
+			if !reflect.DeepEqual(h.Skyline(delta), rebuilt.Skyline(delta)) {
+				return false
+			}
+		}
+		for id := int32(0); id < nextID; id++ {
+			if !reflect.DeepEqual(h.Membership(id), rebuilt.Membership(id)) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(v []reflect.Value, rng *rand.Rand) {
+			v[0] = reflect.ValueOf(rng.Int63())
 		},
 	}
 	if err := quick.Check(f, cfg); err != nil {

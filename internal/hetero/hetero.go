@@ -285,6 +285,18 @@ func MDMCAllTraced(ds *data.Dataset, devices []Device, prepThreads, maxLevel int
 func MDMCAllSched(ds *data.Dataset, devices []Device, prepThreads, maxLevel int, tun Tuning,
 	tr *obs.Trace, onChunk func(n, total int)) (*templates.MDMCResult, *Shares, SchedCounters) {
 	ctx := templates.PrepareMDMCTraced(ds, prepThreads, 3, maxLevel, tr)
+	shares, counters := MDMCRunPrepared(ctx, devices, tun, tr, onChunk)
+	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares, counters
+}
+
+// MDMCRunPrepared drains an already-prepared MDMC context across devices —
+// the scheduled drain loop of MDMCAllSched without its prologue. Callers
+// that need the prologue's artefacts beyond the cube (the static tree, for
+// incremental maintenance; internal/delta keeps it to solve single-point
+// insert tasks and rebuilds it at compaction) prepare the context
+// themselves and hand it here.
+func MDMCRunPrepared(ctx *templates.MDMCContext, devices []Device, tun Tuning,
+	tr *obs.Trace, onChunk func(n, total int)) (*Shares, SchedCounters) {
 	shares := NewShares()
 	n := ctx.NumTasks()
 	sched := NewScheduler(n, ctx.D, devices, tun)
@@ -307,7 +319,42 @@ func MDMCAllSched(ds *data.Dataset, devices []Device, prepThreads, maxLevel int,
 		}(i, d)
 	}
 	wg.Wait()
-	return &templates.MDMCResult{Cube: ctx.Cube, ExtRows: ctx.ExtRows}, shares, sched.Counters()
+	return shares, sched.Counters()
+}
+
+// ComputeCuboids computes S_δ for each requested subspace over the given
+// rows of ds, devices pulling cuboids from a shared queue exactly as SDSC
+// hands out lattice-level work. It is the targeted-recompute job of
+// incremental deletes (internal/delta): when a skyline member is removed,
+// only the cuboids it belonged to are recomputed, scheduled across
+// whatever devices the serving system has. Returned id lists are ascending
+// rows of ds.
+func ComputeCuboids(ds *data.Dataset, rows []int32, deltas []mask.Mask, devices []Device) map[mask.Mask][]int32 {
+	out := make(map[mask.Mask][]int32, len(deltas))
+	if len(deltas) == 0 || len(devices) == 0 {
+		return out
+	}
+	jobs := make(chan mask.Mask)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(devices))
+	for _, dev := range devices {
+		go func(dev Device) {
+			defer wg.Done()
+			for delta := range jobs {
+				sky, _ := dev.Cuboid(ds, rows, delta)
+				mu.Lock()
+				out[delta] = sky
+				mu.Unlock()
+			}
+		}(dev)
+	}
+	for _, delta := range deltas {
+		jobs <- delta
+	}
+	close(jobs)
+	wg.Wait()
+	return out
 }
 
 // ChunkTrack names the trace track for a device lane: the device name for

@@ -17,11 +17,25 @@
 // NewWith and the corresponding Options field is set. Every request flows
 // through a middleware that records per-endpoint latency histograms and
 // request counters into the same registry, and optionally logs.
+//
+// When Options.Updater is set the server runs in maintenance mode: reads
+// resolve against the updater's latest MVCC snapshot — or an older epoch
+// pinned with ?epoch=N while it remains in the history ring — and five
+// more endpoints are mounted:
+//
+//	POST /insert                  {"points": [[...], ...]} → buffered ids
+//	POST /delete                  {"ids": [...]} → tombstones buffered
+//	POST /flush                   apply the buffered batch, publish an epoch
+//	POST /compact                 fold the overlay into a fresh base
+//	GET  /updates                 maintenance counters (delta.Stats)
+//
+// Mutation bodies are capped with http.MaxBytesReader (Options.MaxBodyBytes).
 package server
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -59,7 +73,18 @@ type Options struct {
 	// Logger, if non-nil, logs one line per request (method, path, status,
 	// duration).
 	Logger *log.Logger
+	// Updater, if non-nil, switches the server into maintenance mode: the
+	// cube and dataset passed to NewWith are ignored (and may be nil), reads
+	// serve the updater's snapshots, and the mutation endpoints are mounted.
+	Updater *skycube.Updater
+	// MaxBodyBytes caps mutation request bodies via http.MaxBytesReader;
+	// 0 means 1 MiB.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the mutation body cap when Options.MaxBodyBytes
+// is zero.
+const DefaultMaxBodyBytes = 1 << 20
 
 // Server wraps a built skycube and its dataset.
 type Server struct {
@@ -89,6 +114,13 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 	}
 	if opt.Trace != nil {
 		s.mux.HandleFunc("/trace", s.handleTrace)
+	}
+	if opt.Updater != nil {
+		s.mux.HandleFunc("/insert", s.handleInsert)
+		s.mux.HandleFunc("/delete", s.handleDelete)
+		s.mux.HandleFunc("/flush", s.handleFlush)
+		s.mux.HandleFunc("/compact", s.handleCompact)
+		s.mux.HandleFunc("/updates", s.handleUpdates)
 	}
 	return s
 }
@@ -131,40 +163,146 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// allow guards a handler's verb: on mismatch it answers 405 with the
+// Allow header RFC 9110 §15.5.6 requires, so clients learn the right verb
+// instead of guessing.
+func allow(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	http.Error(w, fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+		http.StatusMethodNotAllowed)
+	return false
+}
+
+// view is what one read request resolves against: the static cube the
+// server was built with, or one MVCC snapshot pinned for the request's
+// duration. Pinning is just holding the value — the writer is never
+// blocked, and every answer within the request is from a single epoch.
+type view struct {
+	cube  skycube.Skycube
+	snap  skycube.Snapshot // nil in static mode
+	epoch uint64           // 0 in static mode
+}
+
+// points returns how many points the view serves (live points in
+// maintenance mode).
+func (v view) points(s *Server) int {
+	if v.snap != nil {
+		return v.snap.Live()
+	}
+	return s.ds.Len()
+}
+
+// idBound returns the exclusive upper bound on addressable point ids.
+func (v view) idBound(s *Server) int {
+	if v.snap != nil {
+		return v.snap.Len()
+	}
+	return s.ds.Len()
+}
+
+// point returns the coordinates of id.
+func (v view) point(s *Server, id int32) []float32 {
+	if v.snap != nil {
+		return v.snap.Point(id)
+	}
+	return s.ds.Point(int(id))
+}
+
+// resolveView picks the cube a read request is answered from, honouring
+// ?epoch=N in maintenance mode. A false return means the response has
+// already been written.
+func (s *Server) resolveView(w http.ResponseWriter, r *http.Request) (view, bool) {
+	espec := r.URL.Query().Get("epoch")
+	if s.opt.Updater == nil {
+		if espec != "" {
+			http.Error(w, "epoch parameter requires a server in maintenance mode",
+				http.StatusBadRequest)
+			return view{}, false
+		}
+		return view{cube: s.cube}, true
+	}
+	var snap skycube.Snapshot
+	if espec != "" {
+		e, err := strconv.ParseUint(espec, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad epoch %q", espec), http.StatusBadRequest)
+			return view{}, false
+		}
+		var ok bool
+		if snap, ok = s.opt.Updater.At(e); !ok {
+			http.Error(w, fmt.Sprintf("epoch %d is not addressable (evicted from the history ring or not yet published)", e),
+				http.StatusGone)
+			return view{}, false
+		}
+	} else {
+		snap = s.opt.Updater.Current()
+	}
+	return view{cube: snap, snap: snap, epoch: snap.Epoch()}, true
+}
+
+// decodeBody decodes a JSON request body into v under the configured size
+// cap. A false return means the response has already been written.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	limit := s.opt.MaxBodyBytes
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 // infoResponse is the /info payload.
 type infoResponse struct {
-	Points    int `json:"points"`
-	Dims      int `json:"dims"`
-	Subspaces int `json:"subspaces"`
-	MaxLevel  int `json:"max_level"`
-	StoredIDs int `json:"stored_ids"`
+	Points    int    `json:"points"`
+	Dims      int    `json:"dims"`
+	Subspaces int    `json:"subspaces"`
+	MaxLevel  int    `json:"max_level"`
+	StoredIDs int    `json:"stored_ids"`
+	Epoch     uint64 `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	v, ok := s.resolveView(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, infoResponse{
-		Points:    s.ds.Len(),
-		Dims:      s.ds.Dims(),
-		Subspaces: len(skycube.AllSubspaces(s.ds.Dims())),
-		MaxLevel:  s.cube.MaxLevel(),
-		StoredIDs: s.cube.IDCount(),
+		Points:    v.points(s),
+		Dims:      v.cube.Dims(),
+		Subspaces: len(skycube.AllSubspaces(v.cube.Dims())),
+		MaxLevel:  v.cube.MaxLevel(),
+		StoredIDs: v.cube.IDCount(),
+		Epoch:     v.epoch,
 	})
 }
 
 func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	writeJSON(w, s.opt.BuildInfo)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -172,8 +310,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -187,11 +324,15 @@ type skylineResponse struct {
 	Count    int         `json:"count"`
 	IDs      []int32     `json:"ids"`
 	Points   [][]float32 `json:"points,omitempty"`
+	Epoch    uint64      `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	v, ok := s.resolveView(w, r)
+	if !ok {
 		return
 	}
 	dimSpec := r.URL.Query().Get("dims")
@@ -203,8 +344,8 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	var delta skycube.Subspace
 	for _, part := range strings.Split(dimSpec, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || d < 0 || d >= s.ds.Dims() {
-			http.Error(w, fmt.Sprintf("bad dimension %q (need 0..%d)", part, s.ds.Dims()-1),
+		if err != nil || d < 0 || d >= v.cube.Dims() {
+			http.Error(w, fmt.Sprintf("bad dimension %q (need 0..%d)", part, v.cube.Dims()-1),
 				http.StatusBadRequest)
 			return
 		}
@@ -216,17 +357,17 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		dims = append(dims, d)
 		delta |= skycube.SubspaceOf(d)
 	}
-	if skycube.SubspaceSize(delta) > s.cube.MaxLevel() {
+	if skycube.SubspaceSize(delta) > v.cube.MaxLevel() {
 		http.Error(w, fmt.Sprintf("subspace has %d dimensions but only levels ≤ %d are materialised",
-			skycube.SubspaceSize(delta), s.cube.MaxLevel()), http.StatusUnprocessableEntity)
+			skycube.SubspaceSize(delta), v.cube.MaxLevel()), http.StatusUnprocessableEntity)
 		return
 	}
-	ids := s.cube.Skyline(delta)
-	resp := skylineResponse{Dims: dims, Subspace: delta, Count: len(ids), IDs: ids}
+	ids := v.cube.Skyline(delta)
+	resp := skylineResponse{Dims: dims, Subspace: delta, Count: len(ids), IDs: ids, Epoch: v.epoch}
 	if r.URL.Query().Get("points") == "true" {
 		resp.Points = make([][]float32, len(ids))
 		for i, id := range ids {
-			resp.Points[i] = s.ds.Point(int(id))
+			resp.Points[i] = v.point(s, id)
 		}
 	}
 	writeJSON(w, resp)
@@ -237,26 +378,140 @@ type membershipResponse struct {
 	ID        int32    `json:"id"`
 	Subspaces []uint32 `json:"subspaces"`
 	DimLists  [][]int  `json:"dim_lists"`
+	Alive     *bool    `json:"alive,omitempty"`
+	Epoch     uint64   `json:"epoch,omitempty"`
 }
 
 func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	v, ok := s.resolveView(w, r)
+	if !ok {
 		return
 	}
 	idSpec := r.URL.Query().Get("id")
 	id, err := strconv.Atoi(idSpec)
-	if err != nil || id < 0 || id >= s.ds.Len() {
-		http.Error(w, fmt.Sprintf("bad id %q (need 0..%d)", idSpec, s.ds.Len()-1),
+	if err != nil || id < 0 || id >= v.idBound(s) {
+		http.Error(w, fmt.Sprintf("bad id %q (need 0..%d)", idSpec, v.idBound(s)-1),
 			http.StatusBadRequest)
 		return
 	}
-	subspaces := s.cube.Membership(int32(id))
-	resp := membershipResponse{ID: int32(id), Subspaces: subspaces, DimLists: make([][]int, len(subspaces))}
+	subspaces := v.cube.Membership(int32(id))
+	resp := membershipResponse{ID: int32(id), Subspaces: subspaces, DimLists: make([][]int, len(subspaces)), Epoch: v.epoch}
+	if v.snap != nil {
+		alive := v.snap.Alive(int32(id))
+		resp.Alive = &alive
+	}
 	for i, delta := range subspaces {
 		resp.DimLists[i] = skycube.SubspaceDims(delta)
 	}
 	writeJSON(w, resp)
+}
+
+// insertRequest is the POST /insert body; insertResponse its payload. The
+// returned ids are buffered — they become visible at the next /flush.
+type insertRequest struct {
+	Points [][]float32 `json:"points"`
+}
+
+type insertResponse struct {
+	IDs            []int32 `json:"ids"`
+	PendingInserts int     `json:"pending_inserts"`
+	PendingDeletes int     `json:"pending_deletes"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	var req insertRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(w, `missing points (e.g. {"points": [[1,2,3]]})`, http.StatusBadRequest)
+		return
+	}
+	ids := make([]int32, 0, len(req.Points))
+	for i, p := range req.Points {
+		id, err := s.opt.Updater.Insert(p)
+		if err != nil {
+			// Earlier points in the request stay buffered; report how far
+			// the request got so the client can reconcile.
+			http.Error(w, fmt.Sprintf("point %d: %v (%d of %d points buffered)",
+				i, err, len(ids), len(req.Points)), http.StatusBadRequest)
+			return
+		}
+		ids = append(ids, id)
+	}
+	ins, del := s.opt.Updater.Pending()
+	writeJSON(w, insertResponse{IDs: ids, PendingInserts: ins, PendingDeletes: del})
+}
+
+// deleteRequest is the POST /delete body; deleteResponse its payload.
+type deleteRequest struct {
+	IDs []int32 `json:"ids"`
+}
+
+type deleteResponse struct {
+	Deleted        int `json:"deleted"`
+	PendingInserts int `json:"pending_inserts"`
+	PendingDeletes int `json:"pending_deletes"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	var req deleteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.IDs) == 0 {
+		http.Error(w, `missing ids (e.g. {"ids": [17]})`, http.StatusBadRequest)
+		return
+	}
+	for i, id := range req.IDs {
+		if err := s.opt.Updater.Delete(id); err != nil {
+			http.Error(w, fmt.Sprintf("id %d: %v (%d of %d deletes buffered)",
+				id, err, i, len(req.IDs)), http.StatusBadRequest)
+			return
+		}
+	}
+	ins, del := s.opt.Updater.Pending()
+	writeJSON(w, deleteResponse{Deleted: len(req.IDs), PendingInserts: ins, PendingDeletes: del})
+}
+
+// epochResponse is the /flush and /compact payload: the snapshot that now
+// serves reads.
+type epochResponse struct {
+	Epoch   uint64 `json:"epoch"`
+	Live    int    `json:"live"`
+	Overlay int    `json:"overlay"`
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	snap := s.opt.Updater.Flush()
+	writeJSON(w, epochResponse{Epoch: snap.Epoch(), Live: snap.Live(), Overlay: s.opt.Updater.Stats().Overlay})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	snap := s.opt.Updater.Compact()
+	writeJSON(w, epochResponse{Epoch: snap.Epoch(), Live: snap.Live(), Overlay: s.opt.Updater.Stats().Overlay})
+}
+
+func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, s.opt.Updater.Stats())
 }
 
 // writeJSON encodes to a buffer first so an encoding failure can still

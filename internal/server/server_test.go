@@ -272,6 +272,221 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 }
 
+// newUpdaterServer builds a maintenance-mode server over the same 5-point
+// dataset as newTestServer.
+func newUpdaterServer(t *testing.T, opt Options) (*Server, *skycube.Updater) {
+	t.Helper()
+	ds, err := skycube.DatasetFromRows([][]float32{
+		{12.20, 17, 120},
+		{9.00, 12, 148},
+		{8.20, 13, 169},
+		{21.25, 3, 186},
+		{21.25, 5, 196},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := skycube.NewUpdater(ds, skycube.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(up.Close)
+	opt.Updater = up
+	return NewWith(nil, nil, opt), up
+}
+
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestMethodNotAllowed checks that every endpoint answers a mismatched
+// verb with 405 and a correct Allow header.
+func TestMethodNotAllowed(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	for _, path := range []string{"/info", "/skyline?dims=0", "/membership?id=1"} {
+		rec := post(t, s, path, "{}")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, rec.Code)
+		}
+		if got := rec.Header().Get("Allow"); got != http.MethodGet {
+			t.Errorf("POST %s: Allow = %q, want GET", path, got)
+		}
+	}
+	us, _ := newUpdaterServer(t, Options{})
+	for _, path := range []string{"/insert", "/delete", "/flush", "/compact"} {
+		rec := get(t, us, path)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", path, rec.Code)
+		}
+		if got := rec.Header().Get("Allow"); got != http.MethodPost {
+			t.Errorf("GET %s: Allow = %q, want POST", path, got)
+		}
+	}
+	if rec := post(t, us, "/updates", "{}"); rec.Code != http.StatusMethodNotAllowed ||
+		rec.Header().Get("Allow") != http.MethodGet {
+		t.Errorf("POST /updates: status %d, Allow %q", rec.Code, rec.Header().Get("Allow"))
+	}
+}
+
+// TestMutationFlow drives insert → flush → delete → flush over HTTP and
+// checks that reads follow the epochs, including pinned ?epoch=N reads
+// against evicted and future epochs.
+func TestMutationFlow(t *testing.T) {
+	s, up := newUpdaterServer(t, Options{})
+
+	// Epoch 1 serves the initial build.
+	var info infoResponse
+	rec := get(t, s, "/info")
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 || info.Points != 5 {
+		t.Fatalf("initial info = %+v", info)
+	}
+	baseline := up.Current().Skyline(skycube.FullSpace(3))
+
+	// Insert a point dominating everything, flush, and watch it take over.
+	rec = post(t, s, "/insert", `{"points": [[1.0, 1, 100]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/insert: %d %s", rec.Code, rec.Body)
+	}
+	var ins insertResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ins.IDs, []int32{5}) || ins.PendingInserts != 1 {
+		t.Fatalf("insert response = %+v", ins)
+	}
+	rec = post(t, s, "/flush", "")
+	var ep epochResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Epoch != 2 || ep.Live != 6 {
+		t.Fatalf("flush response = %+v", ep)
+	}
+	var sky skylineResponse
+	rec = get(t, s, "/skyline?dims=0,1,2")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sky); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sky.IDs, []int32{5}) || sky.Epoch != 2 {
+		t.Fatalf("post-insert skyline = %+v", sky)
+	}
+
+	// A pinned read at epoch 1 still serves the pre-insert answers.
+	rec = get(t, s, "/skyline?dims=0,1,2&epoch=1")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sky); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sky.IDs, baseline) || sky.Epoch != 1 {
+		t.Fatalf("pinned epoch-1 skyline = %+v, want ids %v", sky, baseline)
+	}
+
+	// Delete the usurper; the old skyline returns at epoch 3.
+	rec = post(t, s, "/delete", `{"ids": [5]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/delete: %d %s", rec.Code, rec.Body)
+	}
+	post(t, s, "/flush", "")
+	rec = get(t, s, "/skyline?dims=0,1,2")
+	if err := json.Unmarshal(rec.Body.Bytes(), &sky); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sky.IDs, baseline) || sky.Epoch != 3 {
+		t.Fatalf("post-delete skyline = %+v, want ids %v", sky, baseline)
+	}
+
+	// Membership of the dead id reports alive=false.
+	var mem membershipResponse
+	rec = get(t, s, "/membership?id=5")
+	if err := json.Unmarshal(rec.Body.Bytes(), &mem); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Alive == nil || *mem.Alive || len(mem.Subspaces) != 0 {
+		t.Fatalf("dead-id membership = %+v", mem)
+	}
+
+	// Epoch errors: future → 410, garbage → 400, deleting a dead id → 400.
+	if rec := get(t, s, "/skyline?dims=0&epoch=99"); rec.Code != http.StatusGone {
+		t.Errorf("future epoch: status %d, want 410", rec.Code)
+	}
+	if rec := get(t, s, "/skyline?dims=0&epoch=x"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad epoch: status %d, want 400", rec.Code)
+	}
+	if rec := post(t, s, "/delete", `{"ids": [5]}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("double delete: status %d, want 400", rec.Code)
+	}
+
+	// /compact folds the overlay and bumps the epoch.
+	rec = post(t, s, "/compact", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Epoch != 4 || ep.Live != 5 || ep.Overlay != 0 {
+		t.Fatalf("compact response = %+v", ep)
+	}
+
+	// /updates serves the stats counters.
+	var st skycube.UpdaterStats
+	rec = get(t, s, "/updates")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 4 || st.Live != 5 || st.Compactions != 1 {
+		t.Fatalf("updates stats = %+v", st)
+	}
+}
+
+// TestEpochEviction pins reads past the history ring.
+func TestEpochEviction(t *testing.T) {
+	s, _ := newUpdaterServer(t, Options{})
+	// Default history is 8; push epoch 1 out.
+	for i := 0; i < 9; i++ {
+		if rec := post(t, s, "/insert", `{"points": [[50, 50, 500]]}`); rec.Code != http.StatusOK {
+			t.Fatalf("insert %d: %d %s", i, rec.Code, rec.Body)
+		}
+		post(t, s, "/flush", "")
+	}
+	if rec := get(t, s, "/skyline?dims=0&epoch=1"); rec.Code != http.StatusGone {
+		t.Errorf("evicted epoch: status %d, want 410", rec.Code)
+	}
+	if rec := get(t, s, "/skyline?dims=0&epoch=10"); rec.Code != http.StatusOK {
+		t.Errorf("latest epoch: status %d, want 200", rec.Code)
+	}
+}
+
+// TestBodyCap checks the MaxBytesReader guard and malformed-body errors.
+func TestBodyCap(t *testing.T) {
+	s, _ := newUpdaterServer(t, Options{MaxBodyBytes: 64})
+	big := `{"points": [[` + strings.Repeat("1,", 200) + `1]]}`
+	if rec := post(t, s, "/insert", big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", rec.Code)
+	}
+	for body, want := range map[string]int{
+		`not json`:          http.StatusBadRequest,
+		`{"points": []}`:    http.StatusBadRequest,
+		`{"unknown": true}`: http.StatusBadRequest,
+		`{"points": [[1]]}`: http.StatusBadRequest, // wrong dimensionality
+	} {
+		if rec := post(t, s, "/insert", body); rec.Code != want {
+			t.Errorf("body %q: status %d, want %d", body, rec.Code, want)
+		}
+	}
+}
+
+// TestEpochOnStaticServer rejects ?epoch=N without an updater.
+func TestEpochOnStaticServer(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	if rec := get(t, s, "/skyline?dims=0&epoch=1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("static epoch read: status %d, want 400", rec.Code)
+	}
+}
+
 func TestRequestLogging(t *testing.T) {
 	ds, err := skycube.DatasetFromRows([][]float32{{1, 2}, {2, 1}})
 	if err != nil {

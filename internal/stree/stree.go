@@ -197,6 +197,34 @@ func (t *Tree) buildNodes() {
 	}
 }
 
+// Route computes the path labels of an arbitrary point — one not
+// necessarily part of the tree — relative to the retained global pivots,
+// with exactly the label logic Build applies to its input rows. Routed
+// labels are therefore directly comparable to stored ones via
+// CompositeStrictLabels, which is what lets the incremental-maintenance
+// path (internal/delta) run the MDMC filter for a freshly inserted point
+// against a tree built long before the point existed.
+func (t *Tree) Route(p []float32) (med, quart, oct mask.Mask) {
+	for j := range t.MedPivot {
+		v := p[j]
+		half := 1
+		if v < t.MedPivot[j] {
+			med |= 1 << uint(j)
+			half = 0
+		}
+		quarter := half * 2
+		if v < t.QuartPivot[half][j] {
+			quart |= 1 << uint(j)
+		} else {
+			quarter++
+		}
+		if t.Depth == 3 && v < t.OctPivot[quarter][j] {
+			oct |= 1 << uint(j)
+		}
+	}
+	return med, quart, oct
+}
+
 // StrictBelowMasks returns, for sorted position i, the point's path labels
 // at each level (Oct is zero for depth-2 trees).
 func (t *Tree) StrictBelowMasks(i int) (med, quart, oct mask.Mask) {

@@ -16,6 +16,48 @@ func buildRandom(t *testing.T, n, d, depth int, seed int64) *Tree {
 	return Build(ds, depth)
 }
 
+// Route must reproduce, for every point the tree was built over, exactly
+// the labels Build stored at that point's sorted position — routing is a
+// pure function of the coordinates and the retained pivots.
+func TestRouteMatchesStoredLabels(t *testing.T) {
+	for _, depth := range []int{2, 3} {
+		tr := buildRandom(t, 800, 5, depth, 7)
+		for pos := 0; pos < tr.Data.N; pos++ {
+			med, quart, oct := tr.Route(tr.Data.Point(pos))
+			if med != tr.Med[pos] || quart != tr.Quart[pos] || oct != tr.Oct[pos] {
+				t.Fatalf("depth %d pos %d: Route = (%b,%b,%b), stored (%b,%b,%b)",
+					depth, pos, med, quart, oct, tr.Med[pos], tr.Quart[pos], tr.Oct[pos])
+			}
+		}
+	}
+}
+
+// Routed labels of an unseen point must yield sound CompositeStrictLabels
+// claims: whenever the labels guarantee a stored point strictly dominates
+// the routed one on a subspace, the coordinates must agree.
+func TestRouteCompositeSound(t *testing.T) {
+	tr := buildRandom(t, 400, 4, 3, 9)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := make([]float32, 4)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		med, quart, oct := tr.Route(p)
+		for pos := 0; pos < tr.Data.N; pos++ {
+			claim := CompositeStrictLabels(tr.Med[pos], tr.Quart[pos], tr.Oct[pos],
+				med, quart, oct, tr.Depth)
+			q := tr.Data.Point(pos)
+			for j := 0; j < 4; j++ {
+				if claim&(1<<uint(j)) != 0 && q[j] >= p[j] {
+					t.Fatalf("trial %d pos %d dim %d: label claim %b but q=%v p=%v",
+						trial, pos, j, claim, q[j], p[j])
+				}
+			}
+		}
+	}
+}
+
 func TestBuildPanicsOnBadDepth(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,161 @@
+package templates
+
+import (
+	"math/rand"
+	"testing"
+
+	"skycube/internal/bitset"
+	"skycube/internal/data"
+	"skycube/internal/gen"
+	"skycube/internal/mask"
+	"skycube/internal/skyline"
+)
+
+// naiveNotInS computes B_{p∉S} for point pp directly: one dominance test
+// per live point, bit δ−1 set iff some live point dominates pp in δ.
+func naiveNotInS(ds *data.Dataset, alive func(row int) bool, pp []float32, d int) *bitset.Set {
+	out := bitset.New(mask.NumSubspaces(d))
+	for _, delta := range mask.Subspaces(d) {
+		for q := 0; q < ds.N; q++ {
+			if alive != nil && !alive(q) {
+				continue
+			}
+			qq := ds.Point(q)
+			dominates, strict := true, false
+			for j := 0; j < d; j++ {
+				if delta&(1<<uint(j)) == 0 {
+					continue
+				}
+				if qq[j] > pp[j] {
+					dominates = false
+					break
+				}
+				if qq[j] < pp[j] {
+					strict = true
+				}
+			}
+			if dominates && strict {
+				out.Set(int(delta) - 1)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// extSubset reduces ds to its own extended skyline, so that every row is in
+// S⁺ and the MDMC tree covers the whole dataset — the precondition under
+// which deletions inside the tree keep the external solve exact.
+func extSubset(ds *data.Dataset, d int) *data.Dataset {
+	ext := skyline.ExtendedSkyline(ds, nil, mask.Full(d), skyline.AlgoBNL, 1)
+	rows := make([]int, len(ext))
+	for i, r := range ext {
+		rows[i] = int(r)
+	}
+	return ds.Subset(rows)
+}
+
+// An external point solved against the shared tree must get exactly the
+// same non-membership mask a from-scratch scan over the full dataset
+// yields — the tree holds only S⁺(P), but non-S⁺ dominance is implied.
+func TestExternalSolveMatchesNaive(t *testing.T) {
+	const d = 4
+	ds := gen.Synthetic(gen.Independent, 600, d, 3)
+	ctx := PrepareMDMC(ds, 2, 0, 0)
+	rng := rand.New(rand.NewSource(5))
+	sol := NewSolution(ctx)
+	for trial := 0; trial < 50; trial++ {
+		pp := make([]float32, d)
+		for j := range pp {
+			pp[j] = rng.Float32()
+		}
+		sol.Reset()
+		med, quart, oct := ctx.Tree.Route(pp)
+		sol.FilterExternal(med, quart, oct, 2, nil)
+		sol.RefineExternal(pp, med, quart, oct, true, nil)
+		want := naiveNotInS(ds, nil, pp, d)
+		for bit := 0; bit < mask.NumSubspaces(d); bit++ {
+			if sol.NotInS().Test(bit) != want.Test(bit) {
+				t.Fatalf("trial %d: subspace δ=%d: got dominated=%v, want %v",
+					trial, bit+1, sol.NotInS().Test(bit), want.Test(bit))
+			}
+		}
+	}
+}
+
+// With tree points deleted, FilterExternal/RefineExternal must exclude
+// their dominance via the liveness callbacks, and extra live points outside
+// the tree (later inserts) fold in through ApplyDT.
+func TestExternalSolveWithDeletesAndExtras(t *testing.T) {
+	const d = 4
+	base := extSubset(gen.Synthetic(gen.Anticorrelated, 400, d, 8), d)
+	ctx := PrepareMDMC(base, 2, 0, 0)
+	if ctx.NumTasks() != base.N {
+		t.Fatalf("precondition: tree holds %d of %d rows", ctx.NumTasks(), base.N)
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	// Kill a third of the tree's points.
+	dead := make([]bool, base.N) // indexed by sorted tree position
+	for pos := 0; pos < base.N; pos++ {
+		if rng.Intn(3) == 0 {
+			dead[pos] = true
+		}
+	}
+	leafAlive := func(li int) bool {
+		lf := ctx.Tree.Leaves[li]
+		for q := int(lf.Start); q < int(lf.End); q++ {
+			if !dead[q] {
+				return true
+			}
+		}
+		return false
+	}
+	alive := func(q int) bool { return !dead[q] }
+
+	// Extra live points the tree has never seen.
+	extras := make([][]float32, 30)
+	for i := range extras {
+		pp := make([]float32, d)
+		for j := range pp {
+			pp[j] = rng.Float32()
+		}
+		extras[i] = pp
+	}
+
+	// Oracle dataset: live tree points in tree order, then the extras.
+	var rows [][]float32
+	for pos := 0; pos < base.N; pos++ {
+		if !dead[pos] {
+			rows = append(rows, ctx.Tree.Data.Point(pos))
+		}
+	}
+	rows = append(rows, extras...)
+	oracle := data.FromRows(rows)
+
+	full := mask.Full(d)
+	sol := NewSolution(ctx)
+	for trial := 0; trial < 40; trial++ {
+		pp := make([]float32, d)
+		for j := range pp {
+			pp[j] = rng.Float32()
+		}
+		sol.Reset()
+		med, quart, oct := ctx.Tree.Route(pp)
+		sol.FilterExternal(med, quart, oct, 2, leafAlive)
+		sol.RefineExternal(pp, med, quart, oct, true, alive)
+		for _, ex := range extras {
+			if sol.Remaining() == 0 {
+				break
+			}
+			sol.ApplyDT(ex, pp, full, true)
+		}
+		want := naiveNotInS(oracle, nil, pp, d)
+		for bit := 0; bit < mask.NumSubspaces(d); bit++ {
+			if sol.NotInS().Test(bit) != want.Test(bit) {
+				t.Fatalf("trial %d: subspace δ=%d: got dominated=%v, want %v",
+					trial, bit+1, sol.NotInS().Test(bit), want.Test(bit))
+			}
+		}
+	}
+}

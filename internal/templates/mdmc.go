@@ -321,7 +321,22 @@ func (k *Solution) SetStrict(delta mask.Mask) {
 // labels are read — never data points.
 func (k *Solution) Filter(p int, levels int) {
 	t := k.ctx.Tree
-	medP, quartP, octP := t.Med[p], t.Quart[p], t.Oct[p]
+	k.FilterExternal(t.Med[p], t.Quart[p], t.Oct[p], levels, nil)
+}
+
+// FilterExternal is the filter phase for a point identified by its path
+// labels alone — typically a point outside the tree, routed through the
+// retained pivots with Tree.Route. This is what turns an incremental insert
+// into a single-point MDMC task: the shared static tree filters the new
+// point exactly as it would have filtered a build-time point.
+//
+// leafAlive, if non-nil, reports whether tree leaf li still holds at least
+// one live point. The filter's dominance claims quantify over every point
+// of a node, so a node whose points have all been deleted proves nothing;
+// with the callback set, the walk always descends to leaf granularity and
+// skips fully-dead leaves.
+func (k *Solution) FilterExternal(medP, quartP, octP mask.Mask, levels int, leafAlive func(li int) bool) {
+	t := k.ctx.Tree
 	for i1 := range t.L1 {
 		n1 := t.L1[i1]
 		// Dims where the node's points are strictly below the median and p
@@ -333,15 +348,30 @@ func (k *Solution) Filter(p int, levels int) {
 			n2 := t.L2[i2]
 			d2 := (n2.Label &^ quartP) & sameHalf
 			total := d1 | d2
+			lc := t.L2Child[i2]
 			if levels >= 3 && t.Depth == 3 {
 				sameQuarter := sameHalf & ^(n2.Label ^ quartP)
-				lc := t.L2Child[i2]
 				for li := lc[0]; li < lc[1]; li++ {
+					if leafAlive != nil && !leafAlive(int(li)) {
+						continue
+					}
 					lf := t.Leaves[li]
 					d3 := (lf.Label &^ octP) & sameQuarter
 					k.SetStrict(total | d3)
 				}
 				continue
+			}
+			if leafAlive != nil {
+				alive := false
+				for li := lc[0]; li < lc[1]; li++ {
+					if leafAlive(int(li)) {
+						alive = true
+						break
+					}
+				}
+				if !alive {
+					continue
+				}
 			}
 			k.SetStrict(total)
 		}
@@ -396,6 +426,44 @@ func (k *Solution) RefineInstrumented(p int, memo bool, onLeaf func(skipped bool
 			}
 			if onDT != nil {
 				onDT()
+			}
+			k.ApplyDT(ds.Point(q), pp, full, memo)
+			if k.remaining == 0 {
+				return
+			}
+		}
+	}
+}
+
+// RefineExternal is the refine hook for a point outside the tree: exact
+// DTs of the tree's points against coordinates pp, with the same
+// optimistic-mask leaf skipping and seen-mask memoisation as Refine. The
+// leaf-skip comparison runs on pp's routed path labels (Tree.Route), so an
+// external point prunes exactly as well as a build-time one.
+//
+// alive, if non-nil, reports whether the point at sorted position q is
+// still live; deleted points must not contribute dominance. Callers with
+// live points outside the tree (later incremental inserts) extend the
+// solution with ApplyDT per extra point, checking Remaining for early exit.
+func (k *Solution) RefineExternal(pp []float32, medP, quartP, octP mask.Mask, memo bool, alive func(q int) bool) {
+	t := k.ctx.Tree
+	ds := t.Data
+	full := mask.Full(k.ctx.D)
+	for _, lf := range t.Leaves {
+		if k.remaining == 0 {
+			return
+		}
+		s := int(lf.Start)
+		// Optimistic mask: dims on which leaf points might be ≤ p, from the
+		// routed labels against the leaf representative's stored labels.
+		optimistic := full &^ stree.CompositeStrictLabels(
+			medP, quartP, octP, t.Med[s], t.Quart[s], t.Oct[s], t.Depth)
+		if optimistic == 0 || (memo && k.notInSPlus.Test(int(optimistic)-1)) {
+			continue
+		}
+		for q := s; q < int(lf.End); q++ {
+			if alive != nil && !alive(q) {
+				continue
 			}
 			k.ApplyDT(ds.Point(q), pp, full, memo)
 			if k.remaining == 0 {

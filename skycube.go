@@ -164,6 +164,9 @@ type Options struct {
 	// runs. The zero value enables stealing, chunk auto-tuning and SDSC's
 	// cost-ordered cuboid assignment with the default knobs.
 	Scheduling Scheduling
+	// Delta tunes incremental maintenance (NewUpdater): snapshot history
+	// depth and the background-compaction trigger. Ignored by Build.
+	Delta DeltaOptions
 }
 
 // Scheduling configures the adaptive cross-device scheduler (the zero value

@@ -1,0 +1,136 @@
+package skycube
+
+import (
+	"fmt"
+
+	"skycube/internal/delta"
+	"skycube/internal/hetero"
+	"skycube/internal/obs"
+)
+
+// DeltaOptions configure incremental skycube maintenance (Options.Delta).
+// The zero value is a sensible default: compaction at a 25% overlay
+// fraction, no background compactor, an 8-epoch history ring.
+type DeltaOptions struct {
+	// CompactFraction triggers compaction when the snapshot's overlay entry
+	// count exceeds this fraction of the base cube's point count. 0 means
+	// 0.25; negative disables the automatic trigger entirely.
+	CompactFraction float64
+	// AutoCompact runs triggered compactions in a background goroutine.
+	// Without it, compaction happens only through Updater.Compact.
+	AutoCompact bool
+	// History is how many recent epochs stay addressable through
+	// Updater.At for pinned reads; 0 means 8.
+	History int
+	// MinCompactOverlay is the overlay floor below which auto-compaction
+	// never fires; 0 means 64, negative means no floor.
+	MinCompactOverlay int
+}
+
+// Snapshot is one immutable MVCC epoch of a maintained skycube. It extends
+// Skycube with liveness and epoch queries. Snapshots are safe for
+// unlimited concurrent use, never change after publication, and never
+// block the updater: pinning an epoch is just holding the value.
+type Snapshot interface {
+	Skycube
+	// Epoch returns the snapshot's epoch; the initial build is epoch 1 and
+	// every applied batch or compaction increments it.
+	Epoch() uint64
+	// Live returns the number of live points at this epoch.
+	Live() int
+	// Len returns the logical id bound: ids in [0, Len) existed at some
+	// epoch up to this one, though some may since have been deleted.
+	Len() int
+	// Alive reports whether id is a live point at this epoch.
+	Alive(id int32) bool
+	// Point returns the coordinates of point id (read-only).
+	Point(id int32) []float32
+}
+
+// UpdaterStats is a point-in-time view of an updater's counters.
+type UpdaterStats = delta.Stats
+
+// Updater maintains a skycube under batched point inserts and deletes,
+// publishing an immutable Snapshot per applied batch. Inserts are solved
+// as single-point MDMC tasks against the retained static tree; deletes
+// tombstone the victim and recompute exactly the cuboids it was a skyline
+// member of, scheduled across the configured devices. All methods are safe
+// for concurrent use.
+type Updater struct {
+	u *delta.Updater
+}
+
+// NewUpdater builds the initial skycube over ds (epoch 1) and returns an
+// updater maintaining it. Point ids are assigned by dataset row — ds row i
+// is id i — and inserted points continue the sequence. Maintenance uses
+// the MDMC template and the HashCube representation, so opt.Algorithm must
+// be MDMC (the default) and opt.MaxLevel must be 0 (full skycube).
+// opt.GPUs/CPUAlso select the device pool for cuboid recomputes and
+// compactions; opt.Delta tunes snapshots and compaction; opt.Metrics
+// receives skycube_delta_* series.
+func NewUpdater(ds *Dataset, opt Options) (*Updater, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("skycube: nil dataset")
+	}
+	if opt.Algorithm != MDMC {
+		return nil, fmt.Errorf("skycube: incremental maintenance requires the MDMC algorithm, not %v", opt.Algorithm)
+	}
+	if opt.MaxLevel != 0 && opt.MaxLevel < ds.ds.Dims {
+		return nil, fmt.Errorf("skycube: incremental maintenance requires a full skycube (MaxLevel 0, not %d)", opt.MaxLevel)
+	}
+	threads := opt.threads()
+	var devices []hetero.Device
+	if len(opt.GPUs) > 0 {
+		devices, _ = buildDevices(opt, threads)
+	}
+	u := delta.NewUpdater(ds.ds, delta.Options{
+		Threads:           threads,
+		Devices:           devices,
+		CompactFraction:   opt.Delta.CompactFraction,
+		AutoCompact:       opt.Delta.AutoCompact,
+		History:           opt.Delta.History,
+		MinCompactOverlay: opt.Delta.MinCompactOverlay,
+		Metrics:           obs.NewDeltaMetrics(opt.Metrics),
+	})
+	return &Updater{u: u}, nil
+}
+
+// Insert buffers one point for the next batch and returns its assigned id.
+// The point becomes visible at the snapshot the next Flush publishes.
+func (up *Updater) Insert(point []float32) (int32, error) { return up.u.Insert(point) }
+
+// Delete buffers the deletion of a live point; deleting an id inserted in
+// the same unflushed batch cancels that insert. Unknown and
+// already-deleted ids error immediately.
+func (up *Updater) Delete(id int32) error { return up.u.Delete(id) }
+
+// Pending reports the buffered batch size awaiting the next Flush.
+func (up *Updater) Pending() (inserts, deletes int) { return up.u.Pending() }
+
+// Flush applies the buffered batch and returns the snapshot serving it
+// (the current snapshot if the batch was empty).
+func (up *Updater) Flush() Snapshot { return up.u.Flush() }
+
+// Compact forces a full rebuild over the live points, folding the overlay
+// into a fresh base, and returns the new snapshot.
+func (up *Updater) Compact() Snapshot { return up.u.Compact() }
+
+// Current returns the latest published snapshot.
+func (up *Updater) Current() Snapshot { return up.u.Current() }
+
+// At returns the snapshot at the given epoch while it remains in the
+// history ring (see DeltaOptions.History).
+func (up *Updater) At(epoch uint64) (Snapshot, bool) {
+	s := up.u.At(epoch)
+	if s == nil {
+		return nil, false
+	}
+	return s, true
+}
+
+// Stats returns current maintenance counters.
+func (up *Updater) Stats() UpdaterStats { return up.u.Stats() }
+
+// Close stops the background compactor, if any. Published snapshots stay
+// valid after Close.
+func (up *Updater) Close() { up.u.Close() }
