@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"skycube"
+	"skycube/internal/cluster"
+)
+
+// runShardMode serves one horizontal partition as a cluster shard node:
+// the full single-node endpoint set plus /shard/cuboid and /shard/info,
+// with local rows mapped to global ids via -id-base/-id-stride.
+func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
+	idBase, idStride int, withPprof bool, maxBody int64) {
+	sh, err := cluster.NewShard(ds, opt, cluster.ShardOptions{
+		IDBase:       idBase,
+		IDStride:     idStride,
+		Metrics:      opt.Metrics,
+		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		MaxBodyBytes: maxBody,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	}
+	defer sh.Close()
+	snap := sh.Updater().Current()
+	fmt.Printf("shard node over %d×%d (global ids %d + r·%d, epoch %d)\n",
+		ds.Len(), ds.Dims(), idBase, idStride, snap.Epoch())
+	mountPprof(sh.Server(), withPprof)
+	serveAndDrain(addr, sh,
+		"GET /shard/cuboid?subspace=N, /shard/info, /skyline, /healthz, /metrics; POST /insert, /delete, /flush")
+}
+
+// runCoordinatorMode serves the cluster's public surface over a shard map
+// given as a flat URL list: with -replicas R, each consecutive run of R
+// URLs is one shard's replica set.
+func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
+	timeout, hedgeDelay time.Duration, withPprof bool) {
+	urls := splitNonEmpty(shardList)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "skycubed: -coordinator requires -shards url,url,...")
+		os.Exit(2)
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if len(urls)%replicas != 0 {
+		fmt.Fprintf(os.Stderr, "skycubed: %d shard URLs do not divide into replica sets of %d\n",
+			len(urls), replicas)
+		os.Exit(2)
+	}
+	var specs []cluster.ShardSpec
+	for i := 0; i < len(urls); i += replicas {
+		specs = append(specs, cluster.ShardSpec{Replicas: urls[i : i+replicas]})
+	}
+	metrics := skycube.NewMetrics()
+	coord, err := cluster.NewCoordinator(specs, cluster.CoordinatorOptions{
+		Timeout:    timeout,
+		HedgeDelay: hedgeDelay,
+		Extended:   extended,
+		Metrics:    metrics,
+		Logger:     log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "skycubed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("coordinator over %d shard(s) × %d replica(s)\n", len(specs), replicas)
+
+	var handler http.Handler = coord
+	if withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", coord)
+		mountPprofMux(mux)
+		handler = mux
+	}
+	serveAndDrain(addr, handler,
+		"GET /skyline?dims=0,2, /info, /healthz, /metrics; POST /insert, /delete, /flush")
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -6,6 +6,8 @@
 //	skycubed -algo MDMC -threads 8 [-gpus 1] [-cpu-also] [-max-level 4] \
 //	         [-trace build.json] [-progress] [-query 0,2 -query 1] data.txt
 //	skycubed -serve :8080 [-pprof] data.txt
+//	skycubed -serve :9001 -shard -id-base 0 -id-stride 2 part-0-of-2.txt
+//	skycubed -serve :8080 -coordinator -shards http://a:9001,http://b:9002 -replicas 1
 //
 // With no -query flags it prints summary statistics; each -query flag names
 // a subspace as a comma-separated dimension list and prints its skyline.
@@ -21,6 +23,14 @@
 // trace_event JSON (open in about://tracing or ui.perfetto.dev); -progress
 // reports build progress on stderr; -pprof additionally mounts
 // net/http/pprof under /debug/pprof/ on the serving mux.
+//
+// -shard serves one horizontal partition as a cluster shard node (the
+// maintainable-server endpoints plus /shard/cuboid and /shard/info, with
+// -id-base/-id-stride mapping local rows to global ids); -coordinator
+// serves the cluster's public surface over a shard map given via -shards
+// (consecutive URLs grouped into replica sets of -replicas), with hedged
+// reads, retries and per-replica circuit breakers. See README "Cluster
+// mode".
 package main
 
 import (
@@ -73,7 +83,29 @@ func main() {
 	minChunk := flag.Int("min-chunk", 0, "minimum auto-tuned grab size (0 = default 16)")
 	maxChunk := flag.Int("max-chunk", 0, "maximum auto-tuned grab size (0 = default 4096)")
 	chunkTime := flag.Duration("chunk-time", 0, "target wall time of one grab (0 = default 2ms)")
+	shardMode := flag.Bool("shard", false, "with -serve: run as a cluster shard node over this partition file")
+	idBase := flag.Int("id-base", 0, "with -shard: global id of local row 0")
+	idStride := flag.Int("id-stride", 1, "with -shard: global id step between consecutive local rows (shard count for round-robin partitions)")
+	coordinator := flag.Bool("coordinator", false, "with -serve: run as a cluster coordinator (no data file)")
+	shardURLs := flag.String("shards", "", "with -coordinator: comma-separated shard replica URLs")
+	replicas := flag.Int("replicas", 1, "with -coordinator: replicas per shard (consecutive -shards URLs are grouped)")
+	extended := flag.Bool("extended", false, "with -coordinator: fetch extended skylines S⁺ from shards instead of materialised cuboids")
+	clusterTimeout := flag.Duration("cluster-timeout", 0, "with -coordinator: per-attempt shard request timeout (0 = default 2s)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "with -coordinator: delay before hedging a slow read to a second replica (0 = default 50ms, negative disables)")
 	flag.Parse()
+
+	if *coordinator {
+		if *serve == "" {
+			fmt.Fprintln(os.Stderr, "skycubed: -coordinator requires -serve")
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "skycubed: -coordinator takes no data file")
+			os.Exit(2)
+		}
+		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag)
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: skycubed [flags] data.txt")
@@ -127,6 +159,19 @@ func main() {
 	}
 	if *progress {
 		opt.Progress = stderrProgress()
+	}
+
+	if *shardMode {
+		if *serve == "" {
+			fmt.Fprintln(os.Stderr, "skycubed: -shard requires -serve")
+			os.Exit(2)
+		}
+		opt.Delta = skycube.DeltaOptions{
+			AutoCompact:     true,
+			CompactFraction: *compactFraction,
+		}
+		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody)
+		return
 	}
 
 	if *updates {
@@ -248,10 +293,18 @@ func mountPprof(srv *server.Server, withPprof bool) {
 	srv.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 }
 
+func mountPprofMux(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // serveAndDrain runs the HTTP server until SIGINT/SIGTERM, then drains
 // in-flight requests for up to ten seconds.
-func serveAndDrain(addr string, srv *server.Server, endpoints string) {
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+func serveAndDrain(addr string, handler http.Handler, endpoints string) {
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -29,7 +29,11 @@ func NewDataset(dims int, vals []float32) (*Dataset, error) {
 	if len(vals) == 0 || len(vals)%dims != 0 {
 		return nil, fmt.Errorf("skycube: %d values is not a positive multiple of %d dims", len(vals), dims)
 	}
-	return &Dataset{ds: data.New(dims, vals)}, nil
+	ds := data.New(dims, vals)
+	if err := data.CheckFinite(ds); err != nil {
+		return nil, fmt.Errorf("skycube: %v", err)
+	}
+	return &Dataset{ds: ds}, nil
 }
 
 // DatasetFromRows builds a dataset from per-point rows, all the same width.
@@ -46,15 +50,24 @@ func DatasetFromRows(rows [][]float32) (*Dataset, error) {
 			return nil, fmt.Errorf("skycube: row %d has %d values, want %d", i, len(r), d)
 		}
 	}
-	return &Dataset{ds: data.FromRows(rows)}, nil
+	ds := data.FromRows(rows)
+	if err := data.CheckFinite(ds); err != nil {
+		return nil, fmt.Errorf("skycube: %v", err)
+	}
+	return &Dataset{ds: ds}, nil
 }
 
 // ReadDataset parses the whitespace-separated text format: one point per
-// line, '#' comments and blank lines skipped.
+// line, '#' comments and blank lines skipped. Non-finite coordinates
+// (NaN, ±Inf — which strconv happily parses) are rejected: they silently
+// poison dominance tests otherwise.
 func ReadDataset(r io.Reader) (*Dataset, error) {
 	ds, err := data.Read(r)
 	if err != nil {
 		return nil, err
+	}
+	if err := data.CheckFinite(ds); err != nil {
+		return nil, fmt.Errorf("skycube: %v", err)
 	}
 	return &Dataset{ds: ds}, nil
 }
@@ -128,6 +141,9 @@ func ReadCSVDataset(r io.Reader, opt CSVOptions) (*Dataset, error) {
 	if ds.Dims > MaxDims {
 		return nil, fmt.Errorf("skycube: csv has %d dimensions, max %d", ds.Dims, MaxDims)
 	}
+	if err := data.CheckFinite(ds); err != nil {
+		return nil, fmt.Errorf("skycube: %v", err)
+	}
 	return &Dataset{ds: ds}, nil
 }
 
@@ -143,4 +159,36 @@ func (d *Dataset) Normalize(dirs []Direction) (*Dataset, error) {
 		return nil, err
 	}
 	return &Dataset{ds: norm}, nil
+}
+
+// PartitionMode selects how Partition distributes points across shards.
+type PartitionMode = data.PartitionMode
+
+// Partition modes for horizontal sharding.
+const (
+	// RoundRobinPartition assigns point i to shard i mod k: shard s holds
+	// the global ids s, s+k, s+2k, … (id base s, stride k). Every shard sees
+	// the same distribution, and the arithmetic mapping stays valid as
+	// shards grow.
+	RoundRobinPartition = data.RoundRobin
+	// RangePartition assigns balanced contiguous blocks (id stride 1).
+	RangePartition = data.Range
+)
+
+// Partition splits the dataset into k horizontal shards for scale-out
+// serving (internal/cluster): each shard is a standalone dataset whose rows
+// keep their global ids through the mode's arithmetic mapping, so the union
+// of shard-local skylines — a superset of the global skyline, since a
+// globally undominated point is undominated within its shard — merges back
+// exactly under one final dominance filter.
+func (d *Dataset) Partition(k int, mode PartitionMode) ([]*Dataset, error) {
+	parts, err := data.Partition(d.ds, k, mode)
+	if err != nil {
+		return nil, fmt.Errorf("skycube: %v", err)
+	}
+	out := make([]*Dataset, len(parts))
+	for i, p := range parts {
+		out[i] = &Dataset{ds: p}
+	}
+	return out, nil
 }

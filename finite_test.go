@@ -1,0 +1,80 @@
+// Non-finite coordinates (NaN, ±Inf) poison dominance comparisons — every
+// comparison against NaN is false, so a NaN point can sit undominated in
+// every subspace forever. They are rejected at every ingestion path.
+package skycube_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"skycube"
+)
+
+func TestNewDatasetRejectsNonFinite(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		vals []float32
+	}{
+		{"NaN", []float32{0.1, 0.2, nan, 0.4}},
+		{"+Inf", []float32{inf, 0.2, 0.3, 0.4}},
+		{"-Inf", []float32{0.1, 0.2, 0.3, float32(math.Inf(-1))}},
+	}
+	for _, c := range cases {
+		if _, err := skycube.NewDataset(2, c.vals); err == nil {
+			t.Errorf("NewDataset accepted a %s coordinate", c.name)
+		}
+	}
+	if _, err := skycube.NewDataset(2, []float32{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatalf("NewDataset rejected finite data: %v", err)
+	}
+}
+
+func TestDatasetFromRowsRejectsNonFinite(t *testing.T) {
+	rows := [][]float32{{0.1, 0.2}, {float32(math.NaN()), 0.3}}
+	if _, err := skycube.DatasetFromRows(rows); err == nil {
+		t.Fatal("DatasetFromRows accepted a NaN coordinate")
+	}
+}
+
+func TestReadDatasetRejectsNonFinite(t *testing.T) {
+	for _, text := range []string{
+		"0.1 0.2\nNaN 0.3\n",
+		"0.1 0.2\n0.3 +Inf\n",
+		"0.1 0.2\n-Inf 0.3\n",
+		"0.1 0.2\n1e999 0.3\n", // overflows to +Inf during parsing
+	} {
+		if _, err := skycube.ReadDataset(strings.NewReader(text)); err == nil {
+			t.Errorf("ReadDataset accepted %q", text)
+		}
+	}
+	if _, err := skycube.ReadDataset(strings.NewReader("0.1 0.2\n0.3 0.4\n")); err != nil {
+		t.Fatalf("ReadDataset rejected finite data: %v", err)
+	}
+}
+
+func TestUpdaterInsertRejectsNonFinite(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 50, 3, 1)
+	up, err := skycube.NewUpdater(ds, skycube.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	for _, p := range [][]float32{
+		{float32(math.NaN()), 0.2, 0.3},
+		{0.1, float32(math.Inf(1)), 0.3},
+		{0.1, 0.2, float32(math.Inf(-1))},
+	} {
+		if _, err := up.Insert(p); err == nil {
+			t.Errorf("Insert accepted non-finite point %v", p)
+		}
+	}
+	if ins, _ := up.Pending(); ins != 0 {
+		t.Fatalf("rejected inserts left %d points buffered", ins)
+	}
+	if _, err := up.Insert([]float32{0.1, 0.2, 0.3}); err != nil {
+		t.Fatalf("Insert rejected a finite point: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+// Edge-case tests for the HashCube-backed Skycube view (hashCubeView):
+// degenerate subspace arguments, the full space at d=10, and ids that
+// appear in no cuboid at all.
+package skycube_test
+
+import (
+	"testing"
+
+	"skycube"
+)
+
+// buildMDMC builds the default HashCube-backed skycube.
+func buildMDMC(t *testing.T, ds *skycube.Dataset) skycube.Skycube {
+	t.Helper()
+	cube, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.MDMC, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func TestHashCubeViewEmptySubspace(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 100, 4, 1)
+	cube := buildMDMC(t, ds)
+	if got := cube.Skyline(0); got != nil {
+		t.Fatalf("Skyline(0) = %v, want nil", got)
+	}
+	// Out-of-range masks (≥ 2^d) are equally meaningless.
+	if got := cube.Skyline(skycube.Subspace(1 << 4)); got != nil {
+		t.Fatalf("Skyline(2^d) = %v, want nil", got)
+	}
+	if got := cube.Skyline(skycube.Subspace(1<<4) | 3); got != nil {
+		t.Fatalf("Skyline(out of range) = %v, want nil", got)
+	}
+	for _, id := range []int32{0, 50, 99} {
+		for _, delta := range cube.Membership(id) {
+			if delta == 0 {
+				t.Fatalf("Membership(%d) contains the empty subspace", id)
+			}
+		}
+	}
+}
+
+func TestHashCubeViewFullSpaceD10(t *testing.T) {
+	const d = 10
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 60, d, 3)
+	cube := buildMDMC(t, ds)
+	oracle, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.QSkycube, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := skycube.FullSpace(d)
+	if uint32(full) != 1<<d-1 {
+		t.Fatalf("FullSpace(%d) = %b", d, full)
+	}
+	got, want := cube.Skyline(full), oracle.Skyline(full)
+	if len(got) != len(want) {
+		t.Fatalf("full-space skyline: %d ids, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("full-space skyline[%d] = %d, oracle %d", i, got[i], want[i])
+		}
+	}
+	// Membership must agree with Skyline across the entire 2^10-1 lattice.
+	inSkyline := make(map[int32]map[skycube.Subspace]bool, ds.Len())
+	for delta := skycube.Subspace(1); delta < 1<<d; delta++ {
+		for _, id := range cube.Skyline(delta) {
+			m, ok := inSkyline[id]
+			if !ok {
+				m = map[skycube.Subspace]bool{}
+				inSkyline[id] = m
+			}
+			m[delta] = true
+		}
+	}
+	for id := int32(0); int(id) < ds.Len(); id++ {
+		member := cube.Membership(id)
+		if len(member) != len(inSkyline[id]) {
+			t.Fatalf("id %d: Membership lists %d subspaces, Skyline scan found %d",
+				id, len(member), len(inSkyline[id]))
+		}
+		for _, delta := range member {
+			if !inSkyline[id][delta] {
+				t.Fatalf("id %d: Membership contains %b but Skyline(%b) omits it", id, delta, delta)
+			}
+		}
+	}
+}
+
+func TestHashCubeViewAbsentIDs(t *testing.T) {
+	// Row 1 is strictly worse than row 0 in every dimension, so it is
+	// dominated in every subspace and must appear in no cuboid.
+	rows := [][]float32{
+		{0.01, 0.01, 0.01},
+		{0.9, 0.9, 0.9},
+		{0.05, 0.8, 0.5},
+		{0.8, 0.05, 0.5},
+	}
+	ds, err := skycube.DatasetFromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := buildMDMC(t, ds)
+	if m := cube.Membership(1); len(m) != 0 {
+		t.Fatalf("Membership of a universally dominated point = %v, want empty", m)
+	}
+	for delta := skycube.Subspace(1); delta < 1<<3; delta++ {
+		for _, id := range cube.Skyline(delta) {
+			if id == 1 {
+				t.Fatalf("universally dominated point in Skyline(%b)", delta)
+			}
+		}
+	}
+	// Ids that were never in the dataset are absent from every cuboid too.
+	for _, id := range []int32{int32(len(rows)), 1000, -1} {
+		if m := cube.Membership(id); len(m) != 0 {
+			t.Fatalf("Membership(%d) = %v for an id outside the dataset", id, m)
+		}
+	}
+	// The dominator itself is everywhere.
+	if m := cube.Membership(0); len(m) != 1<<3-1 {
+		t.Fatalf("Membership of the universal dominator lists %d subspaces, want 7", len(m))
+	}
+}

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"skycube/internal/obs"
+)
+
+// Client-side defaults (CoordinatorOptions fields left zero).
+const (
+	DefaultTimeout          = 2 * time.Second
+	DefaultHedgeDelay       = 50 * time.Millisecond
+	DefaultMaxAttempts      = 3
+	DefaultBackoffBase      = 25 * time.Millisecond
+	DefaultBackoffMax       = 500 * time.Millisecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+
+	// maxResponseBytes caps how much of a replica response is read (a
+	// skyline of every point of a large shard, with coordinates, stays far
+	// below this).
+	maxResponseBytes = 256 << 20
+)
+
+// errAllReplicasDown is returned when every replica of a shard is
+// unreachable or breaker-blocked.
+var errAllReplicasDown = errors.New("cluster: no live replica")
+
+// replica is one endpoint of a shard's replica set.
+type replica struct {
+	url string
+	brk *breaker
+}
+
+// shardGroup is a shard's replica set plus its global-id arithmetic.
+type shardGroup struct {
+	name     string
+	replicas []*replica
+	// idBase/idStride map the shard's local row r to global id
+	// idBase + r*idStride (filled from ShardSpec or /shard/info).
+	idBase, idStride int
+	// rr rotates the first replica tried per request, spreading read load.
+	rr atomic.Uint64
+}
+
+// pick returns the next replica whose breaker admits a request, nil if none.
+// Replicas already tried this request (in `used`) are skipped.
+func (g *shardGroup) pick(used map[*replica]bool) *replica {
+	n := len(g.replicas)
+	start := int(g.rr.Add(1))
+	for i := 0; i < n; i++ {
+		rep := g.replicas[(start+i)%n]
+		if used[rep] || !rep.brk.Allow() {
+			continue
+		}
+		used[rep] = true
+		return rep
+	}
+	return nil
+}
+
+// fanoutClient issues requests to shard replicas with per-attempt timeouts,
+// capped exponential backoff + jitter retries, hedged reads and circuit
+// breakers.
+type fanoutClient struct {
+	hc          *http.Client
+	timeout     time.Duration
+	hedgeDelay  time.Duration // 0 disables hedging
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	metrics     *obs.ClusterMetrics
+}
+
+// backoff returns the capped exponential delay before retry number n
+// (1-based), with ±50% jitter so retry storms from many coordinators
+// decorrelate.
+func (c *fanoutClient) backoff(n int) time.Duration {
+	d := c.backoffBase << uint(n-1)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// do runs one HTTP attempt under the per-request timeout. Non-2xx statuses
+// are errors carrying a body snippet.
+func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		snippet := string(b)
+		if len(snippet) > 200 {
+			snippet = snippet[:200]
+		}
+		return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, snippet)
+	}
+	return b, nil
+}
+
+// get fetches path from one of the shard's replicas: the rotation-chosen
+// primary first, a hedge against a second replica if the primary is slow,
+// and backoff retries on failure until maxAttempts is exhausted or no
+// breaker admits another try. The attempt that loses the race is cancelled
+// via context.
+func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]byte, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type attemptResult struct {
+		body  []byte
+		err   error
+		hedge bool
+	}
+	results := make(chan attemptResult, c.maxAttempts+1)
+	used := map[*replica]bool{}
+	launch := func(hedge bool) bool {
+		rep := g.pick(used)
+		if rep == nil && !hedge {
+			// Every replica has been tried once; a retry may revisit them
+			// (the failure could have been transient), but a hedge must
+			// not duplicate a request already in flight.
+			for k := range used {
+				delete(used, k)
+			}
+			rep = g.pick(used)
+		}
+		if rep == nil {
+			return false
+		}
+		go func() {
+			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil)
+			if err == nil {
+				rep.brk.Success()
+			} else {
+				// A cancelled loser is not a replica failure.
+				if ctx.Err() == nil {
+					rep.brk.Failure()
+				}
+			}
+			results <- attemptResult{body, err, hedge}
+		}()
+		return true
+	}
+
+	if !launch(false) {
+		return nil, errAllReplicasDown
+	}
+	inflight := 1
+	attempts := 1
+	hedged := false
+	var hedgeTimer <-chan time.Time
+	if c.hedgeDelay > 0 && len(g.replicas) > 1 {
+		hedgeTimer = time.After(c.hedgeDelay)
+	}
+	var retryTimer <-chan time.Time
+	var lastErr error
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			// The primary is slower than the hedge delay: race a second
+			// replica and take whichever answers first.
+			if launch(true) {
+				hedged = true
+				inflight++
+			}
+		case <-retryTimer:
+			retryTimer = nil
+			if launch(false) {
+				c.metrics.Retry(g.name)
+				inflight++
+				attempts++
+			} else if inflight == 0 {
+				return nil, lastErr
+			}
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				if hedged {
+					c.metrics.Hedge(g.name, r.hedge)
+				}
+				return r.body, nil
+			}
+			lastErr = r.err
+			if inflight > 0 || retryTimer != nil {
+				continue // the race partner may still win
+			}
+			if attempts >= c.maxAttempts {
+				return nil, lastErr
+			}
+			retryTimer = time.After(c.backoff(attempts))
+		}
+	}
+}
+
+// post writes body to every replica of the shard in parallel (replication
+// is write-all so replicas stay byte-identical), retrying each replica
+// with backoff. It returns one response body per replica, or an error if
+// any replica could not be written.
+func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, body []byte) ([][]byte, error) {
+	type repResult struct {
+		i    int
+		body []byte
+		err  error
+	}
+	ch := make(chan repResult, len(g.replicas))
+	for i, rep := range g.replicas {
+		go func(i int, rep *replica) {
+			var b []byte
+			var err error
+			for n := 1; ; n++ {
+				b, err = c.do(ctx, http.MethodPost, rep.url+path, body)
+				if err == nil {
+					rep.brk.Success()
+					break
+				}
+				rep.brk.Failure()
+				if n >= c.maxAttempts || ctx.Err() != nil {
+					break
+				}
+				c.metrics.Retry(g.name)
+				select {
+				case <-time.After(c.backoff(n)):
+				case <-ctx.Done():
+				}
+			}
+			ch <- repResult{i, b, err}
+		}(i, rep)
+	}
+	out := make([][]byte, len(g.replicas))
+	var firstErr error
+	for range g.replicas {
+		r := <-ch
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %s replica %s: %w", g.name, g.replicas[r.i].url, r.err)
+		}
+		out[r.i] = r.body
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

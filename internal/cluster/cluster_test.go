@@ -1,0 +1,530 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"skycube"
+	"skycube/internal/data"
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+	"skycube/internal/obs"
+)
+
+// testCluster is a K-shard, R-replica cluster wired over httptest servers.
+type testCluster struct {
+	coord   *Coordinator
+	shards  [][]*Shard           // [shard][replica]
+	servers [][]*httptest.Server // [shard][replica]
+	parts   []*skycube.Dataset
+	specs   []ShardSpec
+}
+
+func (tc *testCluster) close() {
+	for _, reps := range tc.servers {
+		for _, s := range reps {
+			s.Close()
+		}
+	}
+	for _, reps := range tc.shards {
+		for _, sh := range reps {
+			sh.Close()
+		}
+	}
+}
+
+// newTestCluster partitions ds into k shards with r replicas each, serves
+// every replica over loopback HTTP, and builds a coordinator on top.
+func newTestCluster(t *testing.T, ds *skycube.Dataset, k, r int, mode skycube.PartitionMode, copt CoordinatorOptions) *testCluster {
+	t.Helper()
+	parts, err := ds.Partition(k, mode)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+	offsets := data.RangeOffsets(ds.Len(), k)
+	tc := &testCluster{parts: parts}
+	for s, part := range parts {
+		base, stride := s, k
+		if mode == skycube.RangePartition {
+			base, stride = offsets[s], 1
+		}
+		var reps []*Shard
+		var srvs []*httptest.Server
+		var urls []string
+		for rep := 0; rep < r; rep++ {
+			sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{IDBase: base, IDStride: stride})
+			if err != nil {
+				t.Fatalf("NewShard(%d/%d): %v", s, rep, err)
+			}
+			srv := httptest.NewServer(sh)
+			reps = append(reps, sh)
+			srvs = append(srvs, srv)
+			urls = append(urls, srv.URL)
+		}
+		tc.shards = append(tc.shards, reps)
+		tc.servers = append(tc.servers, srvs)
+		tc.specs = append(tc.specs, ShardSpec{Replicas: urls, IDBase: base, IDStride: stride})
+	}
+	coord, err := NewCoordinator(tc.specs, copt)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	tc.coord = coord
+	t.Cleanup(tc.close)
+	return tc
+}
+
+// querySkyline issues GET /skyline for the subspace and decodes the payload.
+func querySkyline(t *testing.T, h http.Handler, delta mask.Mask, wantStatus int) skylineResponse {
+	t.Helper()
+	var dims []string
+	for d := 0; d < 32; d++ {
+		if delta&mask.Bit(d) != 0 {
+			dims = append(dims, fmt.Sprint(d))
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/skyline?dims="+strings.Join(dims, ","), nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("GET /skyline subspace %b: status %d, want %d: %s", delta, rec.Code, wantStatus, rec.Body.String())
+	}
+	var resp skylineResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode /skyline: %v", err)
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body interface{}, wantStatus int) []byte {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d: %s", path, rec.Code, wantStatus, rec.Body.String())
+	}
+	return rec.Body.Bytes()
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bruteSkyline computes the Definition-1 skyline of an id -> point map.
+func bruteSkyline(points map[int32][]float32, delta mask.Mask) []int32 {
+	var out []int32
+	for id, p := range points {
+		dominated := false
+		for other, q := range points {
+			if other != id && dom.DominatesIn(q, p, delta) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []int32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func TestShardCuboidEndpoint(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 300, 3, 7)
+	parts, err := ds.Partition(2, skycube.RoundRobinPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewShard(parts[1], skycube.Options{Threads: 2}, ShardOptions{IDBase: 1, IDStride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	cube, _, err := skycube.Build(parts[1], skycube.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		req := httptest.NewRequest(http.MethodGet, fmt.Sprintf("/shard/cuboid?subspace=%d", delta), nil)
+		rec := httptest.NewRecorder()
+		sh.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("subspace %d: status %d: %s", delta, rec.Code, rec.Body.String())
+		}
+		var resp cuboidResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		local := cube.Skyline(skycube.Subspace(delta))
+		if len(resp.IDs) != len(local) {
+			t.Fatalf("subspace %d: %d ids, want %d", delta, len(resp.IDs), len(local))
+		}
+		for i, row := range local {
+			want := int32(1) + row*2
+			if resp.IDs[i] != want {
+				t.Fatalf("subspace %d id[%d] = %d, want global %d", delta, i, resp.IDs[i], want)
+			}
+			p := parts[1].Point(int(row))
+			for j := range p {
+				if resp.Points[i][j] != p[j] {
+					t.Fatalf("subspace %d: point mismatch for id %d", delta, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShardCuboidExtendedSuperset(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 200, 3, 11)
+	sh, err := NewShard(ds, skycube.Options{Threads: 2}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		get := func(extended bool) *cuboidResponse {
+			url := fmt.Sprintf("/shard/cuboid?subspace=%d&extended=%v", delta, extended)
+			req := httptest.NewRequest(http.MethodGet, url, nil)
+			rec := httptest.NewRecorder()
+			sh.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s: status %d", url, rec.Code)
+			}
+			var resp cuboidResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			return &resp
+		}
+		sky, ext := get(false), get(true)
+		in := map[int32]bool{}
+		for _, id := range ext.IDs {
+			in[id] = true
+		}
+		for _, id := range sky.IDs {
+			if !in[id] {
+				t.Fatalf("subspace %d: skyline id %d missing from extended skyline", delta, id)
+			}
+		}
+	}
+}
+
+func TestShardCuboidBadSubspace(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 50, 3, 1)
+	sh, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	for _, spec := range []string{"", "0", "8", "abc", "-1"} {
+		req := httptest.NewRequest(http.MethodGet, "/shard/cuboid?subspace="+spec, nil)
+		rec := httptest.NewRecorder()
+		sh.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("subspace %q: status %d, want 400", spec, rec.Code)
+		}
+	}
+}
+
+func TestShardInfoEndpoint(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Correlated, 120, 4, 3)
+	sh, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{IDBase: 2, IDStride: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	req := httptest.NewRequest(http.MethodGet, "/shard/info", nil)
+	rec := httptest.NewRecorder()
+	sh.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var info shardInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Dims != 4 || info.Live != 120 || info.IDBase != 2 || info.IDStride != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestCoordinatorInsertRoutesAndMapsIDs(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 90, 3, 5)
+	tc := newTestCluster(t, ds, 3, 1, skycube.RoundRobinPartition, CoordinatorOptions{})
+
+	// Track every live point by its global id: the 90 originals...
+	points := map[int32][]float32{}
+	for i := 0; i < ds.Len(); i++ {
+		points[int32(i)] = ds.Point(i)
+	}
+	// ...plus a batch inserted through the coordinator.
+	ins := [][]float32{{0.01, 0.99, 0.5}, {0.99, 0.01, 0.5}, {0.5, 0.5, 0.001}, {0.2, 0.2, 0.2}}
+	var resp insertResponse
+	if err := json.Unmarshal(postJSON(t, tc.coord, "/insert", insertRequest{Points: ins}, http.StatusOK), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IDs) != len(ins) {
+		t.Fatalf("insert returned %d ids for %d points", len(resp.IDs), len(ins))
+	}
+	routed := 0
+	for _, n := range resp.Routed {
+		routed += n
+	}
+	if routed != len(ins) {
+		t.Fatalf("routed counts %v do not sum to %d", resp.Routed, len(ins))
+	}
+	for i, id := range resp.IDs {
+		if _, dup := points[id]; dup {
+			t.Fatalf("insert assigned id %d twice", id)
+		}
+		points[id] = ins[i]
+	}
+	postJSON(t, tc.coord, "/flush", struct{}{}, http.StatusOK)
+
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		got := querySkyline(t, tc.coord, delta, http.StatusOK)
+		if got.Partial {
+			t.Fatalf("subspace %d: unexpected partial response", delta)
+		}
+		want := bruteSkyline(points, delta)
+		if !equalIDs(got.IDs, want) {
+			t.Fatalf("subspace %d after insert: ids %v, want %v", delta, got.IDs, want)
+		}
+	}
+}
+
+func TestCoordinatorDeleteRoutesByIDArithmetic(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 80, 3, 9)
+	tc := newTestCluster(t, ds, 4, 1, skycube.RoundRobinPartition, CoordinatorOptions{})
+
+	points := map[int32][]float32{}
+	for i := 0; i < ds.Len(); i++ {
+		points[int32(i)] = ds.Point(i)
+	}
+	// Delete the full-space skyline members: every subspace must re-form
+	// from the survivors.
+	full := mask.Mask(1<<3 - 1)
+	doomed := bruteSkyline(points, full)
+	var dresp deleteResponse
+	if err := json.Unmarshal(postJSON(t, tc.coord, "/delete", deleteRequest{IDs: doomed}, http.StatusOK), &dresp); err != nil {
+		t.Fatal(err)
+	}
+	if dresp.Deleted != len(doomed) {
+		t.Fatalf("deleted %d, want %d (routed %v)", dresp.Deleted, len(doomed), dresp.Routed)
+	}
+	for _, id := range doomed {
+		delete(points, id)
+	}
+	postJSON(t, tc.coord, "/flush", struct{}{}, http.StatusOK)
+
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		got := querySkyline(t, tc.coord, delta, http.StatusOK)
+		want := bruteSkyline(points, delta)
+		if !equalIDs(got.IDs, want) {
+			t.Fatalf("subspace %d after delete: ids %v, want %v", delta, got.IDs, want)
+		}
+	}
+}
+
+func TestCoordinatorRejectsBadRequests(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 40, 3, 2)
+	tc := newTestCluster(t, ds, 2, 1, skycube.RoundRobinPartition, CoordinatorOptions{})
+
+	for _, q := range []string{"", "dims=", "dims=3", "dims=a", "dims=0,0", "dims=-1"} {
+		req := httptest.NewRequest(http.MethodGet, "/skyline?"+q, nil)
+		rec := httptest.NewRecorder()
+		tc.coord.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("GET /skyline?%s: status %d, want 400", q, rec.Code)
+		}
+	}
+	postJSON(t, tc.coord, "/insert", insertRequest{}, http.StatusBadRequest)
+	postJSON(t, tc.coord, "/delete", deleteRequest{}, http.StatusBadRequest)
+	postJSON(t, tc.coord, "/delete", deleteRequest{IDs: []int32{-7}}, http.StatusBadRequest)
+
+	req := httptest.NewRequest(http.MethodPost, "/skyline?dims=0", nil)
+	rec := httptest.NewRecorder()
+	tc.coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /skyline: status %d, want 405", rec.Code)
+	}
+}
+
+func TestCoordinatorInfoAndHealth(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 60, 3, 4)
+	reg := obs.NewRegistry()
+	tc := newTestCluster(t, ds, 2, 2, skycube.RoundRobinPartition, CoordinatorOptions{Metrics: reg})
+
+	if err := tc.coord.Refresh(t.Context()); err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/info", nil)
+	rec := httptest.NewRecorder()
+	tc.coord.ServeHTTP(rec, req)
+	var info infoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Dims != 3 || len(info.Shards) != 2 || len(info.Shards[0].Replicas) != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Shards[1].IDBase != 1 || info.Shards[1].IDStride != 2 {
+		t.Fatalf("shard 1 id mapping = %+v", info.Shards[1])
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	tc.coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.ShardCount != 2 || h.ReplicaGoal != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+}
+
+func TestCoordinatorShardInfoMismatchDetected(t *testing.T) {
+	ds3 := skycube.GenerateSynthetic(skycube.Independent, 30, 3, 1)
+	ds4 := skycube.GenerateSynthetic(skycube.Independent, 30, 4, 1)
+	sh3, err := NewShard(ds3, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh3.Close()
+	sh4, err := NewShard(ds4, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh4.Close()
+	s3, s4 := httptest.NewServer(sh3), httptest.NewServer(sh4)
+	defer s3.Close()
+	defer s4.Close()
+	coord, err := NewCoordinator([]ShardSpec{
+		{Replicas: []string{s3.URL}},
+		{Replicas: []string{s4.URL}},
+	}, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Refresh(t.Context()); err == nil {
+		t.Fatal("Refresh accepted shards with mismatched dimensionality")
+	}
+}
+
+func TestCoordinatorLearnsIDMappingFromShards(t *testing.T) {
+	// Specs without IDBase/IDStride: Refresh must learn them from
+	// /shard/info so deletes still route correctly.
+	ds := skycube.GenerateSynthetic(skycube.Independent, 60, 3, 8)
+	parts, err := ds.Partition(2, skycube.RoundRobinPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []ShardSpec
+	for s, part := range parts {
+		sh, err := NewShard(part, skycube.Options{Threads: 1}, ShardOptions{IDBase: s, IDStride: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sh.Close()
+		srv := httptest.NewServer(sh)
+		defer srv.Close()
+		specs = append(specs, ShardSpec{Replicas: []string{srv.URL}}) // no id mapping
+	}
+	coord, err := NewCoordinator(specs, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dresp deleteResponse
+	if err := json.Unmarshal(postJSON(t, coord, "/delete", deleteRequest{IDs: []int32{0, 1, 3}}, http.StatusOK), &dresp); err != nil {
+		t.Fatal(err)
+	}
+	if dresp.Deleted != 3 || dresp.Routed["0"] != 1 || dresp.Routed["1"] != 2 {
+		t.Fatalf("delete after learned mapping = %+v", dresp)
+	}
+}
+
+func TestCoordinatorOptionsDefaults(t *testing.T) {
+	o := CoordinatorOptions{}.withDefaults()
+	if o.Timeout != DefaultTimeout || o.HedgeDelay != DefaultHedgeDelay ||
+		o.MaxAttempts != DefaultMaxAttempts || o.BreakerThreshold != DefaultBreakerThreshold {
+		t.Fatalf("withDefaults = %+v", o)
+	}
+	if d := (CoordinatorOptions{HedgeDelay: -1}).withDefaults().HedgeDelay; d != 0 {
+		t.Fatalf("negative HedgeDelay should disable hedging, got %v", d)
+	}
+	if _, err := NewCoordinator(nil, CoordinatorOptions{}); err == nil {
+		t.Fatal("NewCoordinator accepted an empty shard map")
+	}
+	if _, err := NewCoordinator([]ShardSpec{{}}, CoordinatorOptions{}); err == nil {
+		t.Fatal("NewCoordinator accepted a shard with no replicas")
+	}
+}
+
+// waitReady polls the shard's /healthz until ready (updater warm-up).
+func waitReady(t *testing.T, h http.Handler) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code == http.StatusOK {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("shard never became ready")
+}
+
+func TestShardServesHealthz(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 50, 3, 6)
+	sh, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	waitReady(t, sh)
+
+	sh.Server().SetReady(false)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	sh.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while not ready: status %d, want 503", rec.Code)
+	}
+	sh.Server().SetReady(true)
+	waitReady(t, sh)
+}

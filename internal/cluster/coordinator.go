@@ -1,0 +1,701 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"skycube/internal/mask"
+	"skycube/internal/obs"
+)
+
+// ShardSpec names one shard of the cluster: its replica URLs (all serving
+// the same partition) and the partition's global-id arithmetic. Leave
+// IDBase/IDStride zero to have the coordinator learn them from
+// GET /shard/info at Refresh time.
+type ShardSpec struct {
+	// Name labels the shard in metrics and responses; "" means its index.
+	Name string
+	// Replicas are base URLs ("http://host:port") of the shard's replicas.
+	Replicas []string
+	// IDBase/IDStride map the shard's local row r to global id
+	// IDBase + r*IDStride.
+	IDBase, IDStride int
+}
+
+// CoordinatorOptions tune the scatter-gather serving path. The zero value
+// uses the Default* constants.
+type CoordinatorOptions struct {
+	// Timeout bounds each HTTP attempt against a replica.
+	Timeout time.Duration
+	// HedgeDelay is how long the primary replica may stay silent before a
+	// hedge request races a second replica; negative disables hedging.
+	HedgeDelay time.Duration
+	// MaxAttempts caps tries per shard per request (1 = no retries).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the capped exponential retry backoff
+	// (jitter of ±50% is always applied).
+	BackoffBase, BackoffMax time.Duration
+	// BreakerThreshold consecutive failures open a replica's breaker for
+	// BreakerCooldown, during which the replica is skipped outright.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Extended asks shards for the extended skyline S⁺_δ instead of the
+	// materialised S_δ. Both merge to the identical global skyline; S_δ is
+	// an O(1) cube lookup per shard, S⁺_δ is the literal candidate set of
+	// the partition-and-merge theory (and an input scan per query).
+	Extended bool
+	// Metrics, if non-nil, receives skycube_cluster_* families and enables
+	// GET /metrics.
+	Metrics *obs.Registry
+	// Logger, if non-nil, logs one line per proxied failure.
+	Logger *log.Logger
+	// Client overrides the HTTP client (tests inject one).
+	Client *http.Client
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = DefaultHedgeDelay
+	} else if o.HedgeDelay < 0 {
+		o.HedgeDelay = 0
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Coordinator owns the shard map and serves the cluster's public surface:
+//
+//	GET  /skyline?dims=0,2          exact global skyline (scatter, gather, merge)
+//	GET  /info                      cluster topology and per-replica breaker state
+//	GET  /healthz                   readiness: every shard has an admitting replica
+//	GET  /metrics                   Prometheus exposition (when Metrics is set)
+//	POST /insert                    {"points": [[...]]} routed by consistent hash
+//	POST /delete                    {"ids": [global ids]} routed by id arithmetic
+//	POST /flush                     broadcast: apply buffered batches everywhere
+type Coordinator struct {
+	shards []*shardGroup
+	ring   *ring
+	client *fanoutClient
+	cm     *obs.ClusterMetrics
+	opt    CoordinatorOptions
+	mux    *http.ServeMux
+
+	mu   sync.Mutex
+	dims int // learned from /shard/info; 0 until known
+}
+
+// NewCoordinator assembles a coordinator over the given shard map. Call
+// Refresh (or let the first query do it) to learn dims and any id mappings
+// left zero in the specs.
+func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	opt = opt.withDefaults()
+	cm := obs.NewClusterMetrics(opt.Metrics)
+	c := &Coordinator{
+		cm:  cm,
+		opt: opt,
+		client: &fanoutClient{
+			hc:          opt.Client,
+			timeout:     opt.Timeout,
+			hedgeDelay:  opt.HedgeDelay,
+			maxAttempts: opt.MaxAttempts,
+			backoffBase: opt.BackoffBase,
+			backoffMax:  opt.BackoffMax,
+			metrics:     cm,
+		},
+	}
+	labels := make([]string, len(specs))
+	for i, spec := range specs {
+		if len(spec.Replicas) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		name := spec.Name
+		if name == "" {
+			name = strconv.Itoa(i)
+		}
+		labels[i] = name
+		g := &shardGroup{name: name, idBase: spec.IDBase, idStride: spec.IDStride}
+		for _, u := range spec.Replicas {
+			u = strings.TrimRight(u, "/")
+			rep := &replica{url: u}
+			rep.brk = newBreaker(opt.BreakerThreshold, opt.BreakerCooldown,
+				func(state int) { cm.Breaker(u, state) })
+			g.replicas = append(g.replicas, rep)
+		}
+		c.shards = append(c.shards, g)
+	}
+	c.ring = newRing(labels)
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("/skyline", c.handleSkyline)
+	c.mux.HandleFunc("/info", c.handleInfo)
+	c.mux.HandleFunc("/healthz", c.handleHealthz)
+	c.mux.HandleFunc("/insert", c.handleInsert)
+	c.mux.HandleFunc("/delete", c.handleDelete)
+	c.mux.HandleFunc("/flush", c.handleFlush)
+	if opt.Metrics != nil {
+		c.mux.HandleFunc("/metrics", c.handleMetrics)
+	}
+	return c, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Refresh queries each shard's /shard/info (through the full retry/hedge
+// machinery) and fills in dims and any id mappings the specs left zero.
+// Unreachable shards are tolerated — a dead shard must not block queries
+// that can still answer partially — but a dimensionality conflict between
+// reachable shards is an error, and so is learning dims from no shard at
+// all.
+func (c *Coordinator) Refresh(ctx context.Context) error {
+	var firstErr error
+	for _, g := range c.shards {
+		body, err := c.client.get(ctx, g, "/shard/info")
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %s info: %w", g.name, err)
+			}
+			continue
+		}
+		var info shardInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %s info: %w", g.name, err)
+			}
+			continue
+		}
+		c.mu.Lock()
+		if c.dims == 0 {
+			c.dims = info.Dims
+		} else if c.dims != info.Dims {
+			c.mu.Unlock()
+			return fmt.Errorf("cluster: shard %s has %d dims, cluster has %d", g.name, info.Dims, c.dims)
+		}
+		if g.idStride == 0 {
+			g.idBase, g.idStride = info.IDBase, info.IDStride
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	learned := c.dims != 0
+	c.mu.Unlock()
+	if !learned {
+		if firstErr != nil {
+			return firstErr
+		}
+		return fmt.Errorf("cluster: no shard reported its dimensionality")
+	}
+	return nil
+}
+
+// dimsOrRefresh returns the cluster dimensionality, refreshing lazily.
+func (c *Coordinator) dimsOrRefresh(ctx context.Context) (int, error) {
+	c.mu.Lock()
+	d := c.dims
+	c.mu.Unlock()
+	if d != 0 {
+		return d, nil
+	}
+	if err := c.Refresh(ctx); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dims, nil
+}
+
+// gatherResult is one shard's contribution to a scatter-gather query.
+type gatherResult struct {
+	shard string
+	resp  *cuboidResponse
+	err   error
+}
+
+// gather scatters the cuboid request to every shard concurrently and
+// collects the responses; failed shards (all replicas exhausted) are
+// reported, not fatal.
+func (c *Coordinator) gather(ctx context.Context, delta mask.Mask) ([]candidate, map[string]uint64, []string) {
+	path := fmt.Sprintf("/shard/cuboid?subspace=%d", uint32(delta))
+	if c.opt.Extended {
+		path += "&extended=true"
+	}
+	ch := make(chan gatherResult, len(c.shards))
+	for _, g := range c.shards {
+		go func(g *shardGroup) {
+			start := time.Now()
+			body, err := c.client.get(ctx, g, path)
+			c.cm.Fanout(g.name, time.Since(start), err == nil)
+			if err != nil {
+				if c.opt.Logger != nil {
+					c.opt.Logger.Printf("cluster: shard %s: %v", g.name, err)
+				}
+				ch <- gatherResult{shard: g.name, err: err}
+				return
+			}
+			var resp cuboidResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				ch <- gatherResult{shard: g.name, err: err}
+				return
+			}
+			ch <- gatherResult{shard: g.name, resp: &resp}
+		}(g)
+	}
+	var cands []candidate
+	epochs := make(map[string]uint64, len(c.shards))
+	var failed []string
+	for range c.shards {
+		r := <-ch
+		if r.err != nil {
+			failed = append(failed, r.shard)
+			continue
+		}
+		epochs[r.shard] = r.resp.Epoch
+		for i, id := range r.resp.IDs {
+			cands = append(cands, candidate{id: id, point: r.resp.Points[i]})
+		}
+	}
+	sort.Strings(failed)
+	return cands, epochs, failed
+}
+
+// skylineResponse is the coordinator's /skyline payload. Partial is set —
+// and the HTTP status is 206 — when a shard had no live replica: the ids
+// are then a correct skyline of the reachable partitions only, never a
+// silently wrong global answer.
+type skylineResponse struct {
+	Dims         []int             `json:"dims"`
+	Subspace     uint32            `json:"subspace"`
+	Count        int               `json:"count"`
+	IDs          []int32           `json:"ids"`
+	Candidates   int               `json:"candidates"`
+	Partial      bool              `json:"partial"`
+	FailedShards []string          `json:"failed_shards,omitempty"`
+	Epochs       map[string]uint64 `json:"epochs,omitempty"`
+}
+
+func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	start := time.Now()
+	d, err := c.dimsOrRefresh(r.Context())
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cluster not ready: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	dims, delta, errMsg := parseDims(r.URL.Query().Get("dims"), d)
+	if errMsg != "" {
+		http.Error(w, errMsg, http.StatusBadRequest)
+		return
+	}
+	cands, epochs, failed := c.gather(r.Context(), delta)
+	if len(failed) == len(c.shards) {
+		http.Error(w, fmt.Sprintf("all %d shards unreachable", len(c.shards)), http.StatusBadGateway)
+		c.cm.Query(time.Since(start), false)
+		return
+	}
+	ids := mergeSkyline(cands, delta)
+	c.cm.Merge(len(cands), len(ids))
+	resp := skylineResponse{
+		Dims:         dims,
+		Subspace:     uint32(delta),
+		Count:        len(ids),
+		IDs:          ids,
+		Candidates:   len(cands),
+		Partial:      len(failed) > 0,
+		FailedShards: failed,
+		Epochs:       epochs,
+	}
+	c.cm.Query(time.Since(start), resp.Partial)
+	if resp.Partial {
+		writeJSONStatus(w, http.StatusPartialContent, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// infoResponse is the coordinator's /info payload.
+type infoResponse struct {
+	Shards   []shardStatus `json:"shards"`
+	Dims     int           `json:"dims"`
+	Extended bool          `json:"extended"`
+}
+
+type shardStatus struct {
+	Name     string          `json:"name"`
+	IDBase   int             `json:"id_base"`
+	IDStride int             `json:"id_stride"`
+	Replicas []replicaStatus `json:"replicas"`
+}
+
+type replicaStatus struct {
+	URL     string `json:"url"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+}
+
+func breakerName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	c.mu.Lock()
+	d := c.dims
+	c.mu.Unlock()
+	resp := infoResponse{Dims: d, Extended: c.opt.Extended}
+	for _, g := range c.shards {
+		st := shardStatus{Name: g.name, IDBase: g.idBase, IDStride: g.idStride}
+		for _, rep := range g.replicas {
+			st.Replicas = append(st.Replicas, replicaStatus{URL: rep.url, Breaker: breakerName(rep.brk.State())})
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	writeJSON(w, resp)
+}
+
+// healthResponse is the coordinator's /healthz payload: ready means every
+// shard currently has at least one replica whose breaker is not open.
+type healthResponse struct {
+	Status      string   `json:"status"`
+	Ready       bool     `json:"ready"`
+	DownShards  []string `json:"down_shards,omitempty"`
+	ShardCount  int      `json:"shards"`
+	ReplicaGoal int      `json:"replicas_per_shard"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := healthResponse{Status: "ok", Ready: true, ShardCount: len(c.shards)}
+	for _, g := range c.shards {
+		if len(g.replicas) > resp.ReplicaGoal {
+			resp.ReplicaGoal = len(g.replicas)
+		}
+		live := 0
+		for _, rep := range g.replicas {
+			if rep.brk.State() != breakerOpen {
+				live++
+			}
+		}
+		if live == 0 {
+			resp.Ready = false
+			resp.DownShards = append(resp.DownShards, g.name)
+		}
+	}
+	if !resp.Ready {
+		resp.Status = "unavailable"
+		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.opt.Metrics.WritePrometheus(w)
+}
+
+// insertRequest / insertResponse mirror the shard server's protocol, but
+// with global ids: the coordinator hashes each point onto the ring, writes
+// it to every replica of the owning shard, and maps the shard's local ids
+// through the shard's id arithmetic.
+type insertRequest struct {
+	Points [][]float32 `json:"points"`
+}
+
+type insertResponse struct {
+	IDs    []int32        `json:"ids"`
+	Routed map[string]int `json:"routed"` // shard name -> points routed there
+}
+
+// shardInsertResponse is the subset of the shard server's /insert payload
+// the coordinator needs.
+type shardInsertResponse struct {
+	IDs []int32 `json:"ids"`
+}
+
+func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if _, err := c.dimsOrRefresh(r.Context()); err != nil {
+		http.Error(w, fmt.Sprintf("cluster not ready: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResponseBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(w, `missing points (e.g. {"points": [[1,2,3]]})`, http.StatusBadRequest)
+		return
+	}
+	// Group the batch per owning shard, remembering request order.
+	perShard := make(map[int][]int, len(c.shards)) // shard index -> request indices
+	for i, p := range req.Points {
+		s := c.ring.owner(hashPoint(p))
+		perShard[s] = append(perShard[s], i)
+	}
+	resp := insertResponse{IDs: make([]int32, len(req.Points)), Routed: map[string]int{}}
+	for s, idxs := range perShard {
+		g := c.shards[s]
+		pts := make([][]float32, len(idxs))
+		for k, i := range idxs {
+			pts[k] = req.Points[i]
+		}
+		body, err := json.Marshal(insertRequest{Points: pts})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		// Write-all replication: every replica must accept the batch so the
+		// replica set stays byte-identical (and agrees on assigned ids).
+		bodies, err := c.client.post(r.Context(), g, "/insert", body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("insert failed on shard %s: %v", g.name, err), http.StatusBadGateway)
+			return
+		}
+		var localIDs []int32
+		for ri, b := range bodies {
+			var sr shardInsertResponse
+			if err := json.Unmarshal(b, &sr); err != nil || len(sr.IDs) != len(idxs) {
+				http.Error(w, fmt.Sprintf("shard %s replica returned a malformed insert response", g.name),
+					http.StatusBadGateway)
+				return
+			}
+			if ri == 0 {
+				localIDs = sr.IDs
+				continue
+			}
+			for k := range sr.IDs {
+				if sr.IDs[k] != localIDs[k] {
+					// Replicas no longer agree on the id sequence — refuse to
+					// report ids that would be wrong on half the replica set.
+					http.Error(w, fmt.Sprintf("shard %s replicas diverged on assigned ids", g.name),
+						http.StatusBadGateway)
+					return
+				}
+			}
+		}
+		for k, i := range idxs {
+			resp.IDs[i] = int32(g.idBase) + localIDs[k]*int32(g.idStride)
+		}
+		resp.Routed[g.name] += len(idxs)
+	}
+	writeJSON(w, resp)
+}
+
+// deleteRequest / deleteResponse carry global ids; each id routes to its
+// owning shard by the id arithmetic (with the round-robin scheme, id mod K).
+type deleteRequest struct {
+	IDs []int32 `json:"ids"`
+}
+
+type deleteResponse struct {
+	Deleted int            `json:"deleted"`
+	Routed  map[string]int `json:"routed"`
+}
+
+// ownerOf finds the shard owning a global id: the matching arithmetic with
+// the largest base (so overlapping stride-1 range mappings resolve to the
+// right block).
+func (c *Coordinator) ownerOf(id int32) (*shardGroup, int32, bool) {
+	var best *shardGroup
+	var bestLocal int32
+	for _, g := range c.shards {
+		if g.idStride <= 0 {
+			continue
+		}
+		off := int(id) - g.idBase
+		if off < 0 || off%g.idStride != 0 {
+			continue
+		}
+		if best == nil || g.idBase > best.idBase {
+			best = g
+			bestLocal = int32(off / g.idStride)
+		}
+	}
+	return best, bestLocal, best != nil
+}
+
+func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	if _, err := c.dimsOrRefresh(r.Context()); err != nil {
+		http.Error(w, fmt.Sprintf("cluster not ready: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResponseBytes)).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.IDs) == 0 {
+		http.Error(w, `missing ids (e.g. {"ids": [17]})`, http.StatusBadRequest)
+		return
+	}
+	perShard := make(map[*shardGroup][]int32)
+	for _, id := range req.IDs {
+		g, local, ok := c.ownerOf(id)
+		if !ok {
+			http.Error(w, fmt.Sprintf("id %d maps to no shard", id), http.StatusBadRequest)
+			return
+		}
+		perShard[g] = append(perShard[g], local)
+	}
+	resp := deleteResponse{Routed: map[string]int{}}
+	for g, locals := range perShard {
+		body, err := json.Marshal(deleteRequest{IDs: locals})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := c.client.post(r.Context(), g, "/delete", body); err != nil {
+			http.Error(w, fmt.Sprintf("delete failed on shard %s: %v", g.name, err), http.StatusBadGateway)
+			return
+		}
+		resp.Deleted += len(locals)
+		resp.Routed[g.name] += len(locals)
+	}
+	writeJSON(w, resp)
+}
+
+// flushResponse reports the post-flush epoch per shard.
+type flushResponse struct {
+	Epochs map[string]uint64 `json:"epochs"`
+}
+
+// shardEpochResponse is the subset of the shard's /flush payload used here.
+type shardEpochResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+func (c *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if !allowMethod(w, r, http.MethodPost) {
+		return
+	}
+	resp := flushResponse{Epochs: map[string]uint64{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(c.shards))
+	for _, g := range c.shards {
+		wg.Add(1)
+		go func(g *shardGroup) {
+			defer wg.Done()
+			bodies, err := c.client.post(r.Context(), g, "/flush", []byte("{}"))
+			if err != nil {
+				errCh <- fmt.Errorf("flush failed on shard %s: %w", g.name, err)
+				return
+			}
+			var er shardEpochResponse
+			if err := json.Unmarshal(bodies[0], &er); err != nil {
+				errCh <- fmt.Errorf("shard %s flush response: %w", g.name, err)
+				return
+			}
+			mu.Lock()
+			resp.Epochs[g.name] = er.Epoch
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// parseDims parses the dims=0,2,5 query parameter against dimensionality d,
+// returning the dims, the subspace mask, and "" or an error message.
+func parseDims(spec string, d int) ([]int, mask.Mask, string) {
+	if spec == "" {
+		return nil, 0, "missing dims parameter (e.g. dims=0,2,5)"
+	}
+	var dims []int
+	var delta mask.Mask
+	for _, part := range strings.Split(spec, ",") {
+		dim, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || dim < 0 || dim >= d {
+			return nil, 0, fmt.Sprintf("bad dimension %q (need 0..%d)", part, d-1)
+		}
+		if delta&mask.Bit(dim) != 0 {
+			return nil, 0, fmt.Sprintf("duplicate dimension %d in dims=%s", dim, spec)
+		}
+		dims = append(dims, dim)
+		delta |= mask.Bit(dim)
+	}
+	return dims, delta, ""
+}
+
+// allowMethod guards a handler's verb with the Allow header on mismatch.
+func allowMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	http.Error(w, fmt.Sprintf("method %s not allowed (use %s)", r.Method, method),
+		http.StatusMethodNotAllowed)
+	return false
+}
+
+// writeJSON buffers the encoding so a failure can still produce a clean 500.
+func writeJSON(w http.ResponseWriter, v interface{}) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v interface{}) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,167 @@
+// Cluster differential tests: a K-shard scatter-gather cluster must answer
+// every subspace query with exactly the ids the single-node Build
+// materialises — across distributions, dimensionalities, shard counts,
+// partition modes, and both the S_δ and S⁺_δ shard protocols.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"skycube"
+	"skycube/internal/mask"
+)
+
+// assertClusterMatchesSingleNode queries every non-empty subspace through
+// the coordinator and compares against the single-node skycube.
+func assertClusterMatchesSingleNode(t *testing.T, tc *testCluster, ds *skycube.Dataset) {
+	t.Helper()
+	cube, _, err := skycube.Build(ds, skycube.Options{Threads: 2})
+	if err != nil {
+		t.Fatalf("single-node Build: %v", err)
+	}
+	d := ds.Dims()
+	for delta := mask.Mask(1); delta < 1<<uint(d); delta++ {
+		got := querySkyline(t, tc.coord, delta, http.StatusOK)
+		if got.Partial {
+			t.Fatalf("subspace %d: partial response from a healthy cluster", delta)
+		}
+		want := cube.Skyline(skycube.Subspace(delta))
+		if !equalIDs(got.IDs, want) {
+			t.Fatalf("subspace %d: cluster ids %v != single-node %v (candidates %d)",
+				delta, got.IDs, want, got.Candidates)
+		}
+	}
+}
+
+func TestDifferentialClusterGrid(t *testing.T) {
+	dists := []struct {
+		name string
+		dist skycube.Distribution
+	}{
+		{"correlated", skycube.Correlated},
+		{"independent", skycube.Independent},
+		{"anticorrelated", skycube.Anticorrelated},
+	}
+	maxD := 6
+	shardCounts := []int{1, 2, 4}
+	if testing.Short() {
+		maxD = 4
+		shardCounts = []int{1, 2}
+	}
+	for _, dc := range dists {
+		for d := 2; d <= maxD; d++ {
+			n := 400
+			ds := skycube.GenerateSynthetic(dc.dist, n, d, int64(31*d)+7)
+			for _, k := range shardCounts {
+				t.Run(fmt.Sprintf("%s/d%d/k%d", dc.name, d, k), func(t *testing.T) {
+					tc := newTestCluster(t, ds, k, 1, skycube.RoundRobinPartition, CoordinatorOptions{})
+					assertClusterMatchesSingleNode(t, tc, ds)
+				})
+			}
+		}
+	}
+}
+
+func TestDifferentialClusterRangePartition(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		for _, k := range []int{2, 4} {
+			t.Run(fmt.Sprintf("d%d/k%d", d, k), func(t *testing.T) {
+				ds := skycube.GenerateSynthetic(skycube.Independent, 300, d, int64(d))
+				tc := newTestCluster(t, ds, k, 1, skycube.RangePartition, CoordinatorOptions{})
+				assertClusterMatchesSingleNode(t, tc, ds)
+			})
+		}
+	}
+}
+
+func TestDifferentialClusterExtendedMode(t *testing.T) {
+	// The S⁺_δ shard protocol must merge to the identical global skyline.
+	for _, dist := range []skycube.Distribution{skycube.Independent, skycube.Anticorrelated} {
+		d := 4
+		ds := skycube.GenerateSynthetic(dist, 300, d, 17)
+		t.Run(fmt.Sprint(dist), func(t *testing.T) {
+			tc := newTestCluster(t, ds, 2, 1, skycube.RoundRobinPartition, CoordinatorOptions{Extended: true})
+			assertClusterMatchesSingleNode(t, tc, ds)
+		})
+	}
+}
+
+func TestDifferentialClusterWithReplication(t *testing.T) {
+	// R=2 with hedging enabled: replication must not perturb results.
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 300, 4, 23)
+	tc := newTestCluster(t, ds, 2, 2, skycube.RoundRobinPartition, CoordinatorOptions{})
+	assertClusterMatchesSingleNode(t, tc, ds)
+}
+
+func TestDifferentialClusterAfterMutations(t *testing.T) {
+	// Route a mixed insert+delete workload through the coordinator, then
+	// re-check every subspace against a single-node build of the same
+	// logical dataset.
+	ds := skycube.GenerateSynthetic(skycube.Independent, 200, 3, 29)
+	k := 2
+	tc := newTestCluster(t, ds, k, 2, skycube.RoundRobinPartition, CoordinatorOptions{})
+
+	points := map[int32][]float32{}
+	for i := 0; i < ds.Len(); i++ {
+		points[int32(i)] = ds.Point(i)
+	}
+	ins := [][]float32{{0.02, 0.9, 0.4}, {0.9, 0.02, 0.6}, {0.3, 0.3, 0.01}}
+	var iresp insertResponse
+	mustUnmarshal(t, postJSON(t, tc.coord, "/insert", insertRequest{Points: ins}, http.StatusOK), &iresp)
+	for i, id := range iresp.IDs {
+		points[id] = ins[i]
+	}
+	del := []int32{0, 3, 17, 42}
+	postJSON(t, tc.coord, "/delete", deleteRequest{IDs: del}, http.StatusOK)
+	for _, id := range del {
+		delete(points, id)
+	}
+	postJSON(t, tc.coord, "/flush", struct{}{}, http.StatusOK)
+
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		got := querySkyline(t, tc.coord, delta, http.StatusOK)
+		want := bruteSkyline(points, delta)
+		if !equalIDs(got.IDs, want) {
+			t.Fatalf("subspace %d after mutations: ids %v, want %v", delta, got.IDs, want)
+		}
+	}
+	// Replicas must have stayed identical: ask each replica of each shard
+	// for the full-space cuboid and compare.
+	for s, reps := range tc.servers {
+		var first []int32
+		for rep, srv := range reps {
+			resp, err := http.Get(srv.URL + "/shard/cuboid?subspace=7")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cr cuboidResponse
+			decodeBody(t, resp, &cr)
+			if rep == 0 {
+				first = cr.IDs
+			} else if !equalIDs(first, cr.IDs) {
+				t.Fatalf("shard %d replicas diverged: %v vs %v", s, first, cr.IDs)
+			}
+		}
+	}
+}
+
+func mustUnmarshal(t *testing.T, b []byte, v interface{}) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"sort"
+
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+// candidate is one shard-local skyline member: a global point id and its
+// coordinates, shipped together so the coordinator can run dominance tests
+// without a second round trip.
+type candidate struct {
+	id    int32
+	point []float32
+}
+
+// mergeSkyline reduces the union of shard-local results to the exact global
+// skyline of δ with one final dominance filter (the merge step of
+// partition-and-merge skyline processing).
+//
+// Correctness: each shard returns a superset of its partition's
+// contribution to the global skyline — a globally undominated point is
+// undominated within its shard, so it appears in the shard's local S_δ
+// (and a fortiori in its S⁺_δ). Any union member outside the global skyline
+// has, by transitivity of Definition-1 dominance, a dominator that IS a
+// global skyline member and therefore also in the union, so the filter
+// removes exactly the non-members. Ids return sorted ascending, matching
+// single-node Skycube.Skyline output.
+func mergeSkyline(cands []candidate, delta mask.Mask) []int32 {
+	// Sort by id and drop duplicates up front (a retried sub-request can in
+	// principle deliver a shard's answer twice); dominance-by-duplicate
+	// would otherwise be ambiguous under Definition 1's tie handling.
+	sort.Slice(cands, func(a, b int) bool { return cands[a].id < cands[b].id })
+	uniq := cands[:0]
+	for i, c := range cands {
+		if i == 0 || c.id != cands[i-1].id {
+			uniq = append(uniq, c)
+		}
+	}
+	out := make([]int32, 0, len(uniq))
+	for i, c := range uniq {
+		dominated := false
+		for j, q := range uniq {
+			if i == j {
+				continue
+			}
+			if dom.DominatesIn(q.point, c.point, delta) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// ring is a consistent-hash ring over shard indices. Each shard contributes
+// vnodesPerShard virtual points so load spreads evenly, and adding or
+// removing a shard moves only ~1/K of the key space — the property that
+// makes resharding a data migration rather than a full reshuffle.
+type ring struct {
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+const vnodesPerShard = 64
+
+// newRing builds the ring for shards named by the given labels (the labels,
+// not the indices, are hashed, so a shard keeps its arc when the list is
+// reordered).
+func newRing(labels []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(labels)*vnodesPerShard)}
+	for i, label := range labels {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashBytes([]byte(fmt.Sprintf("%s#%d", label, v))),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// owner returns the shard index owning key: the first ring point at or
+// after the key's hash, wrapping around.
+func (r *ring) owner(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hashBytes is 64-bit FNV-1a with a splitmix64 finalizer: plain FNV-1a has
+// weak avalanche on short, similar inputs (vnode labels like "s0#12"), which
+// clusters ring points and skews arc lengths badly.
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashPoint hashes a point's coordinates (their exact float32 bit
+// patterns), giving inserts a stable shard placement independent of request
+// batching.
+func hashPoint(p []float32) uint64 {
+	buf := make([]byte, 4*len(p))
+	for i, v := range p {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return hashBytes(buf)
+}

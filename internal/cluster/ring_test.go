@@ -1,0 +1,67 @@
+package cluster
+
+import "testing"
+
+func TestRingDeterministic(t *testing.T) {
+	r1 := newRing([]string{"a", "b", "c"})
+	r2 := newRing([]string{"a", "b", "c"})
+	for key := uint64(0); key < 10_000; key++ {
+		if r1.owner(key) != r2.owner(key) {
+			t.Fatalf("ring ownership not deterministic at key %d", key)
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	r := newRing([]string{"s0", "s1", "s2", "s3"})
+	counts := make([]int, 4)
+	for i := 0; i < 40_000; i++ {
+		p := []float32{float32(i), float32(i * 7 % 113)}
+		counts[r.owner(hashPoint(p))]++
+	}
+	for s, c := range counts {
+		// With 64 virtual nodes per shard the split should be roughly even;
+		// accept anything within a factor of ~3 of fair share.
+		if c < 40_000/(4*3) {
+			t.Fatalf("shard %d got only %d of 40000 keys: %v", s, c, counts)
+		}
+	}
+}
+
+func TestRingStableUnderGrowth(t *testing.T) {
+	// Consistent hashing's point: adding a shard must not reshuffle keys
+	// between pre-existing shards — a key either stays put or moves to the
+	// new shard.
+	small := newRing([]string{"s0", "s1", "s2"})
+	big := newRing([]string{"s0", "s1", "s2", "s3"})
+	moved := 0
+	const keys = 20_000
+	for i := 0; i < keys; i++ {
+		k := hashBytes([]byte{byte(i), byte(i >> 8), byte(i >> 16)})
+		before, after := small.owner(k), big.owner(k)
+		if before == after {
+			continue
+		}
+		if after != 3 {
+			t.Fatalf("key %d moved between old shards: %d -> %d", i, before, after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("new shard received no keys")
+	}
+	if moved > keys/2 {
+		t.Fatalf("adding one shard moved %d/%d keys; expected roughly 1/4", moved, keys)
+	}
+}
+
+func TestHashPointSensitivity(t *testing.T) {
+	a := hashPoint([]float32{1, 2, 3})
+	b := hashPoint([]float32{1, 2, 3.0000002})
+	if a == b {
+		t.Fatal("hashPoint ignored a coordinate perturbation")
+	}
+	if a != hashPoint([]float32{1, 2, 3}) {
+		t.Fatal("hashPoint not deterministic")
+	}
+}

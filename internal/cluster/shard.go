@@ -1,0 +1,228 @@
+// Package cluster is the scale-out tier of the skycube service: shard
+// nodes each own a horizontal partition of the data and serve shard-local
+// per-subspace results, and a coordinator scatter-gathers those results
+// over HTTP and merges them — with one final dominance filter — into the
+// exact global skyline of any queried subspace.
+//
+// The distribution rests on the distributivity of skyline computation over
+// horizontal partitions (Zhang & Zhang, "Computing Skylines on Distributed
+// Data"): a globally undominated point is undominated within its partition,
+// so the union of shard-local (extended) skylines is a superset of the
+// global skyline, and dominance transitivity guarantees the final filter
+// removes exactly the impostors. No shard ever needs another shard's data.
+//
+// The serving path is engineered for partial failure: replication factor R
+// per shard, per-attempt timeouts, capped exponential backoff with jitter,
+// hedged reads against a second replica when the first is slow, and a
+// per-replica circuit breaker so dead nodes cost nothing. When every
+// replica of a shard is down the coordinator answers with an explicit
+// partial-result response (HTTP 206 and "partial": true) — degraded is
+// visible, never silently wrong.
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"skycube"
+	"skycube/internal/data"
+	"skycube/internal/mask"
+	"skycube/internal/obs"
+	"skycube/internal/server"
+	"skycube/internal/skyline"
+)
+
+// ShardOptions configure a shard node beyond the build options.
+type ShardOptions struct {
+	// IDBase/IDStride map the shard's local row r to its global point id
+	// IDBase + r*IDStride. Round-robin partitions of K shards use base s,
+	// stride K (Dataset.Partition / datagen -shards); range partitions use
+	// their start offset and stride 1. The zero value (0, 0) means stride 1
+	// from 0 — a single-shard cluster.
+	IDBase, IDStride int
+	// Metrics, if non-nil, receives the embedded server's request metrics
+	// and enables GET /metrics.
+	Metrics *obs.Registry
+	// Logger, if non-nil, logs one line per request.
+	Logger *log.Logger
+	// MaxBodyBytes caps mutation bodies (0 = server default, 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Shard is a shard node: a maintainable skycube over one horizontal
+// partition, serving the embedded server's full endpoint set (reads,
+// mutations, /healthz, /metrics) plus the cluster protocol:
+//
+//	GET /shard/cuboid?subspace=N[&extended=true]   shard-local S_δ (or S⁺_δ) with global ids + coordinates
+//	GET /shard/info                                id mapping, dims, live points, epoch
+type Shard struct {
+	srv     *server.Server
+	up      *skycube.Updater
+	dims    int
+	threads int
+	base    int
+	stride  int
+}
+
+// NewShard builds the shard's skycube over its partition (via
+// skycube.NewUpdater, so coordinator-routed inserts and deletes work) and
+// returns the node. Close releases the updater's background goroutines.
+func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Shard, error) {
+	if sopt.IDStride == 0 {
+		sopt.IDStride = 1
+	}
+	if sopt.IDBase < 0 || sopt.IDStride < 0 {
+		return nil, fmt.Errorf("cluster: negative id mapping (base %d, stride %d)", sopt.IDBase, sopt.IDStride)
+	}
+	if sopt.Metrics != nil {
+		opt.Metrics = sopt.Metrics // skycube.Metrics is an alias of obs.Registry
+	}
+	up, err := skycube.NewUpdater(ds, opt)
+	if err != nil {
+		return nil, err
+	}
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	sh := &Shard{
+		up:      up,
+		dims:    ds.Dims(),
+		threads: threads,
+		base:    sopt.IDBase,
+		stride:  sopt.IDStride,
+	}
+	sh.srv = server.NewWith(nil, nil, server.Options{
+		Updater:      up,
+		Metrics:      sopt.Metrics,
+		Logger:       sopt.Logger,
+		MaxBodyBytes: sopt.MaxBodyBytes,
+	})
+	sh.srv.Handle("/shard/cuboid", http.HandlerFunc(sh.handleCuboid))
+	sh.srv.Handle("/shard/info", http.HandlerFunc(sh.handleInfo))
+	return sh, nil
+}
+
+// ServeHTTP implements http.Handler through the embedded server (so the
+// request middleware covers the cluster endpoints too).
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.srv.ServeHTTP(w, r) }
+
+// Updater exposes the shard's updater (tests and embedding).
+func (s *Shard) Updater() *skycube.Updater { return s.up }
+
+// Server exposes the embedded HTTP server (e.g. for SetReady).
+func (s *Shard) Server() *server.Server { return s.srv }
+
+// Close stops the updater's background compactor.
+func (s *Shard) Close() { s.up.Close() }
+
+// GlobalID maps a local row to its global point id.
+func (s *Shard) GlobalID(local int32) int32 {
+	return int32(s.base) + local*int32(s.stride)
+}
+
+// cuboidResponse is the /shard/cuboid payload: the shard-local result for
+// one subspace, as global ids plus coordinates (so the coordinator's merge
+// needs no second round trip).
+type cuboidResponse struct {
+	Subspace uint32      `json:"subspace"`
+	Epoch    uint64      `json:"epoch"`
+	Extended bool        `json:"extended"`
+	Count    int         `json:"count"`
+	IDs      []int32     `json:"ids"`
+	Points   [][]float32 `json:"points"`
+}
+
+func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed (use GET)", http.StatusMethodNotAllowed)
+		return
+	}
+	spec := r.URL.Query().Get("subspace")
+	v, err := strconv.ParseUint(spec, 10, 32)
+	if err != nil || v == 0 || v >= 1<<uint(s.dims) {
+		http.Error(w, fmt.Sprintf("bad subspace %q (need 1..%d)", spec, 1<<uint(s.dims)-1),
+			http.StatusBadRequest)
+		return
+	}
+	delta := mask.Mask(v)
+	extended := r.URL.Query().Get("extended") == "true"
+
+	snap := s.up.Current()
+	var local []int32
+	if extended {
+		local = s.extendedSkyline(snap, delta)
+	} else {
+		local = snap.Skyline(delta)
+	}
+	resp := cuboidResponse{
+		Subspace: uint32(delta),
+		Epoch:    snap.Epoch(),
+		Extended: extended,
+		Count:    len(local),
+		IDs:      make([]int32, len(local)),
+		Points:   make([][]float32, len(local)),
+	}
+	for i, row := range local {
+		resp.IDs[i] = s.GlobalID(row)
+		resp.Points[i] = snap.Point(row)
+	}
+	writeJSON(w, resp)
+}
+
+// extendedSkyline computes the shard-local S⁺_δ over the snapshot's live
+// points — the exact candidate set the partition-and-merge theory calls
+// for. It is an O(n)-input scan rather than an O(1) cube lookup; the
+// coordinator only requests it in extended mode (the default ships the
+// materialised S_δ, a subset of S⁺_δ that merges identically).
+func (s *Shard) extendedSkyline(snap skycube.Snapshot, delta mask.Mask) []int32 {
+	n := snap.Len()
+	rows := make([]int32, 0, n)
+	vals := make([]float32, 0, n*s.dims)
+	for id := int32(0); int(id) < n; id++ {
+		if !snap.Alive(id) {
+			continue
+		}
+		rows = append(rows, id)
+		vals = append(vals, snap.Point(id)...)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	sub := &data.Dataset{Dims: s.dims, N: len(rows), Vals: vals, IDs: rows}
+	ext := skyline.ExtendedSkyline(sub, nil, delta, skyline.AlgoHybrid, s.threads)
+	out := make([]int32, len(ext))
+	for i, r := range ext {
+		out[i] = sub.IDs[r]
+	}
+	return out
+}
+
+// shardInfo is the /shard/info payload.
+type shardInfo struct {
+	Dims     int    `json:"dims"`
+	Live     int    `json:"live"`
+	Epoch    uint64 `json:"epoch"`
+	IDBase   int    `json:"id_base"`
+	IDStride int    `json:"id_stride"`
+}
+
+func (s *Shard) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed (use GET)", http.StatusMethodNotAllowed)
+		return
+	}
+	snap := s.up.Current()
+	writeJSON(w, shardInfo{
+		Dims:     s.dims,
+		Live:     snap.Live(),
+		Epoch:    snap.Epoch(),
+		IDBase:   s.base,
+		IDStride: s.stride,
+	})
+}

@@ -212,6 +212,9 @@ func (u *Updater) Insert(point []float32) (int32, error) {
 	if len(point) != u.d {
 		return 0, fmt.Errorf("delta: point has %d dims, want %d", len(point), u.d)
 	}
+	if err := data.CheckFiniteRow(point); err != nil {
+		return 0, fmt.Errorf("delta: %v", err)
+	}
 	cp := append([]float32(nil), point...)
 	u.pendMu.Lock()
 	defer u.pendMu.Unlock()

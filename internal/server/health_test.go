@@ -1,0 +1,79 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestHealthzStatic(t *testing.T) {
+	s, _, _ := newTestServer(t, 0)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Ready || h.Mode != "static" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if rec := post(t, s, "/healthz", "{}"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: status %d, want 405", rec.Code)
+	}
+}
+
+func TestHealthzMaintenanceEpochAndReadiness(t *testing.T) {
+	s, up := newUpdaterServer(t, Options{})
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d, want 200", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode != "maintenance" || h.Epoch != up.Current().Epoch() {
+		t.Fatalf("healthz = %+v, want maintenance mode at epoch %d", h, up.Current().Epoch())
+	}
+
+	s.SetReady(false)
+	rec = get(t, s, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while not ready: status %d, want 503", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Ready || h.Status != "unavailable" {
+		t.Fatalf("healthz while not ready = %+v", h)
+	}
+	s.SetReady(true)
+	if rec = get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz after SetReady(true): status %d, want 200", rec.Code)
+	}
+}
+
+func TestInsertRejectsNonFinite(t *testing.T) {
+	s, up := newUpdaterServer(t, Options{})
+	before := up.Stats()
+	// JSON itself cannot spell NaN/Inf, so over HTTP every non-finite
+	// coordinate is rejected at the decode or float32-range stage — but it
+	// must be a 400, and it must not leave partial rows buffered.
+	for _, body := range []string{
+		`{"points": [[0.1, NaN]]}`,                           // NaN literal: invalid JSON
+		`{"points": [[0.1, Infinity]]}`,                      // Infinity literal: invalid JSON
+		`{"points": [[1e400, 0.1]]}`,                         // overflows float64
+		`{"points": [[0.1, 0.2], [0.3, -1e999]]}`,            // -Inf mid-batch
+		`{"points": [[0.1, 0.2], [0.3, 3e38], [4e38, 0.1]]}`, // float32 overflow after valid rows
+	} {
+		rec := post(t, s, "/insert", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("POST /insert %s: status %d, want 400: %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	if after := up.Stats(); after.PendingInserts != before.PendingInserts {
+		t.Fatalf("rejected inserts still buffered: %+v", after)
+	}
+}

@@ -12,6 +12,7 @@
 //	GET /buildinfo                how the cube was built (algorithm, timings, shares)
 //	GET /metrics                  Prometheus text exposition of the registry
 //	GET /trace                    Chrome trace_event JSON of the build trace
+//	GET /healthz                  liveness + readiness probe (503 while unready)
 //
 // /metrics and /trace only exist when the Server is constructed with
 // NewWith and the corresponding Options field is set. Every request flows
@@ -41,6 +42,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"skycube"
@@ -92,6 +94,12 @@ type Server struct {
 	ds   *skycube.Dataset
 	mux  *http.ServeMux
 	opt  Options
+
+	// notReady (any bit set) makes /healthz report 503: bit 0 is the
+	// caller-controlled SetReady latch, and busy counts in-flight
+	// unready-making operations (compactions).
+	notReady atomic.Bool
+	busy     atomic.Int32
 }
 
 // New builds a handler for a materialised skycube with no observability
@@ -106,6 +114,7 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/skyline", s.handleSkyline)
 	s.mux.HandleFunc("/membership", s.handleMembership)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if opt.BuildInfo != nil {
 		s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	}
@@ -128,6 +137,44 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 // Handle mounts an extra handler on the server's mux (e.g. pprof).
 func (s *Server) Handle(pattern string, h http.Handler) {
 	s.mux.Handle(pattern, h)
+}
+
+// SetReady flips the caller-controlled half of the readiness probe — e.g. a
+// shard node rebuilding its cube marks itself unready so load balancers and
+// the cluster coordinator route around it. Servers start ready (NewWith is
+// called with a finished cube).
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current readiness: the SetReady latch and no in-flight
+// compaction.
+func (s *Server) Ready() bool { return !s.notReady.Load() && s.busy.Load() == 0 }
+
+// healthResponse is the /healthz payload. Liveness is implied by any
+// response at all; Ready distinguishes "up" from "able to serve correctly".
+type healthResponse struct {
+	Status string `json:"status"` // "ok" or "unavailable"
+	Ready  bool   `json:"ready"`
+	Mode   string `json:"mode"`            // "static" or "maintenance"
+	Epoch  uint64 `json:"epoch,omitempty"` // serving epoch in maintenance mode
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	resp := healthResponse{Status: "ok", Ready: s.Ready(), Mode: "static"}
+	if s.opt.Updater != nil {
+		resp.Mode = "maintenance"
+		resp.Epoch = s.opt.Updater.Current().Epoch()
+	}
+	if !resp.Ready {
+		resp.Status = "unavailable"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // statusWriter captures the response code for the request middleware.
@@ -503,6 +550,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodPost) {
 		return
 	}
+	// The rebuild makes the node unready for the probe's purposes: readers
+	// still work (MVCC), but latency and memory are degraded, so probes
+	// should steer traffic elsewhere until it completes.
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
 	snap := s.opt.Updater.Compact()
 	writeJSON(w, epochResponse{Epoch: snap.Epoch(), Live: snap.Live(), Overlay: s.opt.Updater.Stats().Overlay})
 }
