@@ -93,6 +93,25 @@ func (b *breaker) Failure() {
 	}
 }
 
+// AbortProbe releases a half-open probe whose request was abandoned before
+// producing a verdict — e.g. cancelled after losing a hedge race, or the
+// caller's context expired mid-flight. The replica is neither credited nor
+// blamed: the breaker returns to open with its original deadline, so the
+// next Allow may admit a fresh probe immediately. Without this, an
+// abandoned probe would leave probing latched and the replica would be
+// refused forever.
+func (b *breaker) AbortProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.probing {
+		return
+	}
+	b.probing = false
+	if b.state == breakerHalfOpen {
+		b.setState(breakerOpen)
+	}
+}
+
 // State returns the current state without side effects.
 func (b *breaker) State() int {
 	b.mu.Lock()

@@ -34,6 +34,25 @@ const (
 // unreachable or breaker-blocked.
 var errAllReplicasDown = errors.New("cluster: no live replica")
 
+// statusError is a replica's non-2xx response. Keeping the code lets the
+// client tell caller errors (4xx — the replica is healthy, the request is
+// bad) from replica failures (5xx, timeouts, transport errors).
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// isCallerError reports whether err is a 4xx replica response: a
+// deterministic rejection of the request itself. Such errors must not
+// count toward a replica's circuit breaker and must not be retried —
+// every replica would answer the same way.
+func isCallerError(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code >= 400 && se.code < 500
+}
+
 // replica is one endpoint of a shard's replica set.
 type replica struct {
 	url string
@@ -45,10 +64,21 @@ type shardGroup struct {
 	name     string
 	replicas []*replica
 	// idBase/idStride map the shard's local row r to global id
-	// idBase + r*idStride (filled from ShardSpec or /shard/info).
-	idBase, idStride int
+	// idBase + r*idStride (filled from ShardSpec or /shard/info). Atomic
+	// because Refresh writes them while concurrent handlers read.
+	idBase, idStride atomic.Int64
+	// diverged latches when a write-all POST partially succeeded: some
+	// replicas applied the batch and some exhausted retries, so the
+	// replica set is no longer byte-identical. Surfaced via /info and
+	// /healthz; only an operator rebuild clears it.
+	diverged atomic.Bool
 	// rr rotates the first replica tried per request, spreading read load.
 	rr atomic.Uint64
+}
+
+// idMap returns the shard's global-id arithmetic.
+func (g *shardGroup) idMap() (base, stride int) {
+	return int(g.idBase.Load()), int(g.idStride.Load())
 }
 
 // pick returns the next replica whose breaker admits a request, nil if none.
@@ -121,7 +151,10 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte) 
 		if len(snippet) > 200 {
 			snippet = snippet[:200]
 		}
-		return nil, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, snippet)
+		return nil, &statusError{
+			code: resp.StatusCode,
+			msg:  fmt.Sprintf("%s %s: status %d: %s", method, url, resp.StatusCode, snippet),
+		}
 	}
 	return b, nil
 }
@@ -158,13 +191,19 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 		}
 		go func() {
 			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil)
-			if err == nil {
+			switch {
+			case err == nil, isCallerError(err):
+				// A 4xx means the replica is up and answering; only the
+				// request was bad. Either way the replica made contact.
 				rep.brk.Success()
-			} else {
-				// A cancelled loser is not a replica failure.
-				if ctx.Err() == nil {
-					rep.brk.Failure()
-				}
+			case ctx.Err() != nil:
+				// A cancelled loser is not a replica failure — and if this
+				// attempt held the breaker's single half-open probe,
+				// release it so the replica is not wedged out of rotation
+				// until the next verdict-producing attempt.
+				rep.brk.AbortProbe()
+			default:
+				rep.brk.Failure()
 			}
 			results <- attemptResult{body, err, hedge}
 		}()
@@ -213,6 +252,11 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 				}
 				return r.body, nil
 			}
+			if isCallerError(r.err) {
+				// Deterministic rejection: every replica would answer the
+				// same 4xx, so retrying only wastes attempts.
+				return nil, r.err
+			}
 			lastErr = r.err
 			if inflight > 0 || retryTimer != nil {
 				continue // the race partner may still win
@@ -242,12 +286,19 @@ func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, bod
 			var err error
 			for n := 1; ; n++ {
 				b, err = c.do(ctx, http.MethodPost, rep.url+path, body)
-				if err == nil {
+				if err == nil || isCallerError(err) {
+					// A 4xx is the caller's fault: the replica answered, so
+					// it is healthy for the breaker's purposes, and a retry
+					// would deterministically fail the same way.
 					rep.brk.Success()
 					break
 				}
+				if ctx.Err() != nil {
+					rep.brk.AbortProbe()
+					break
+				}
 				rep.brk.Failure()
-				if n >= c.maxAttempts || ctx.Err() != nil {
+				if n >= c.maxAttempts {
 					break
 				}
 				c.metrics.Retry(g.name)
@@ -261,14 +312,27 @@ func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, bod
 	}
 	out := make([][]byte, len(g.replicas))
 	var firstErr error
+	succeeded := 0
 	for range g.replicas {
 		r := <-ch
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: shard %s replica %s: %w", g.name, g.replicas[r.i].url, r.err)
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %s replica %s: %w", g.name, g.replicas[r.i].url, r.err)
+			}
+		} else {
+			succeeded++
 		}
 		out[r.i] = r.body
 	}
 	if firstErr != nil {
+		if succeeded > 0 {
+			// Write-all partially applied: some replicas took the batch and
+			// some did not, so the replica set is no longer byte-identical.
+			// Latch it so /info and /healthz surface the divergence instead
+			// of hedged reads silently flip-flopping between inconsistent
+			// replicas.
+			g.diverged.Store(true)
+		}
 		return nil, firstErr
 	}
 	return out, nil

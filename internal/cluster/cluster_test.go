@@ -2,11 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -490,6 +492,183 @@ func TestCoordinatorOptionsDefaults(t *testing.T) {
 	}
 	if _, err := NewCoordinator([]ShardSpec{{}}, CoordinatorOptions{}); err == nil {
 		t.Fatal("NewCoordinator accepted a shard with no replicas")
+	}
+}
+
+// TestCoordinatorRejectsInsertOnRangePartition: in range mode (stride-1 id
+// blocks) an appended row's global id would collide with the next shard's
+// base, so the coordinator must refuse inserts outright — while deletes of
+// existing ids stay unambiguous and keep working.
+func TestCoordinatorRejectsInsertOnRangePartition(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 40, 3, 3)
+	tc := newTestCluster(t, ds, 2, 1, skycube.RangePartition, CoordinatorOptions{})
+
+	postJSON(t, tc.coord, "/insert",
+		insertRequest{Points: [][]float32{{0.1, 0.2, 0.3}}}, http.StatusConflict)
+
+	var dresp deleteResponse
+	if err := json.Unmarshal(postJSON(t, tc.coord, "/delete", deleteRequest{IDs: []int32{0, 25}}, http.StatusOK), &dresp); err != nil {
+		t.Fatal(err)
+	}
+	if dresp.Deleted != 2 || dresp.Routed["0"] != 1 || dresp.Routed["1"] != 1 {
+		t.Fatalf("range-mode delete = %+v, want one id per shard", dresp)
+	}
+}
+
+// TestCoordinatorInsertRetryIsIdempotent times out the first /insert
+// attempt AFTER the shard has applied it: the coordinator's retry carries
+// the same batch id, so the shard replays the original response instead of
+// inserting the points a second time.
+func TestCoordinatorInsertRetryIsIdempotent(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 60, 3, 12)
+	sh, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	var swallowed atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/insert" && swallowed.CompareAndSwap(false, true) {
+			// Apply the insert but never answer: the coordinator times out
+			// and retries a write that WAS applied.
+			rec := httptest.NewRecorder()
+			sh.ServeHTTP(rec, r)
+			<-r.Context().Done()
+			return
+		}
+		sh.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	coord, err := NewCoordinator([]ShardSpec{{Replicas: []string{srv.URL}}}, CoordinatorOptions{
+		Timeout:     100 * time.Millisecond,
+		HedgeDelay:  -1,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ins := [][]float32{{0.1, 0.2, 0.3}, {0.9, 0.8, 0.7}}
+	var resp insertResponse
+	if err := json.Unmarshal(postJSON(t, coord, "/insert", insertRequest{Points: ins}, http.StatusOK), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IDs) != 2 || resp.IDs[0] != 60 || resp.IDs[1] != 61 {
+		t.Fatalf("replayed insert ids = %v, want the first application's [60 61]", resp.IDs)
+	}
+	postJSON(t, coord, "/flush", struct{}{}, http.StatusOK)
+	if live := sh.Updater().Current().Live(); live != 62 {
+		t.Fatalf("live points after retried insert = %d, want 62 (retry double-inserted)", live)
+	}
+}
+
+// TestClient4xxNotRetriedAndNoBreakerTrip: a 4xx is a deterministic caller
+// error — it must not be retried (every replica answers the same) and must
+// not count toward the replica's circuit breaker.
+func TestClient4xxNotRetriedAndNoBreakerTrip(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "bad subspace", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	brk := newBreaker(2, time.Minute, nil)
+	g := &shardGroup{name: "s", replicas: []*replica{{url: srv.URL, brk: brk}}}
+	c := &fanoutClient{
+		hc:          srv.Client(),
+		timeout:     time.Second,
+		maxAttempts: 3,
+		backoffBase: time.Millisecond,
+		backoffMax:  time.Millisecond,
+		metrics:     obs.NewClusterMetrics(nil),
+	}
+	if _, err := c.get(context.Background(), g, "/shard/cuboid?subspace=1"); err == nil || !isCallerError(err) {
+		t.Fatalf("get: err = %v, want a caller (4xx) error", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("get retried a 4xx: %d attempts, want 1", n)
+	}
+	if brk.State() != breakerClosed {
+		t.Fatal("a 4xx counted toward the breaker on get")
+	}
+	if _, err := c.post(context.Background(), g, "/insert", []byte("{}")); err == nil || !isCallerError(err) {
+		t.Fatalf("post: err = %v, want a caller (4xx) error", err)
+	}
+	if n := hits.Load(); n != 2 {
+		t.Fatalf("post retried a 4xx: %d total attempts, want 2", n)
+	}
+	if brk.State() != breakerClosed {
+		t.Fatal("a 4xx counted toward the breaker on post")
+	}
+}
+
+// TestCoordinatorSurfacesWriteDivergence: when a write-all insert lands on
+// some replicas but exhausts retries on another, the shard's replica set is
+// no longer byte-identical — /info and /healthz must say so.
+func TestCoordinatorSurfacesWriteDivergence(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 30, 3, 7)
+	shA, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shA.Close()
+	shB, err := NewShard(ds, skycube.Options{Threads: 1}, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shB.Close()
+	srvA := httptest.NewServer(shA)
+	defer srvA.Close()
+	// Replica B takes every request except /insert, which always fails as a
+	// replica (5xx) error.
+	srvB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/insert" {
+			http.Error(w, "disk full", http.StatusInternalServerError)
+			return
+		}
+		shB.ServeHTTP(w, r)
+	}))
+	defer srvB.Close()
+	coord, err := NewCoordinator([]ShardSpec{{Name: "s0", Replicas: []string{srvA.URL, srvB.URL}}},
+		CoordinatorOptions{
+			Timeout:     time.Second,
+			HedgeDelay:  -1,
+			MaxAttempts: 2,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  time.Millisecond,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	postJSON(t, coord, "/insert",
+		insertRequest{Points: [][]float32{{0.5, 0.5, 0.5}}}, http.StatusBadGateway)
+
+	req := httptest.NewRequest(http.MethodGet, "/info", nil)
+	rec := httptest.NewRecorder()
+	coord.ServeHTTP(rec, req)
+	var info infoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Shards) != 1 || !info.Shards[0].WritesDiverged {
+		t.Fatalf("/info after partial write-all = %+v, want writes_diverged on s0", info.Shards)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec = httptest.NewRecorder()
+	coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d (diverged shard still serves reads)", rec.Code)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || len(h.DivergedShards) != 1 || h.DivergedShards[0] != "s0" {
+		t.Fatalf("healthz after partial write-all = %+v, want degraded with diverged s0", h)
 	}
 }
 

@@ -3,9 +3,12 @@ package cluster
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -145,7 +148,9 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 			name = strconv.Itoa(i)
 		}
 		labels[i] = name
-		g := &shardGroup{name: name, idBase: spec.IDBase, idStride: spec.IDStride}
+		g := &shardGroup{name: name}
+		g.idBase.Store(int64(spec.IDBase))
+		g.idStride.Store(int64(spec.IDStride))
 		for _, u := range spec.Replicas {
 			u = strings.TrimRight(u, "/")
 			rep := &replica{url: u}
@@ -202,8 +207,9 @@ func (c *Coordinator) Refresh(ctx context.Context) error {
 			c.mu.Unlock()
 			return fmt.Errorf("cluster: shard %s has %d dims, cluster has %d", g.name, info.Dims, c.dims)
 		}
-		if g.idStride == 0 {
-			g.idBase, g.idStride = info.IDBase, info.IDStride
+		if g.idStride.Load() == 0 {
+			g.idBase.Store(int64(info.IDBase))
+			g.idStride.Store(int64(info.IDStride))
 		}
 		c.mu.Unlock()
 	}
@@ -357,6 +363,10 @@ type shardStatus struct {
 	IDBase   int             `json:"id_base"`
 	IDStride int             `json:"id_stride"`
 	Replicas []replicaStatus `json:"replicas"`
+	// WritesDiverged reports that a write-all POST partially succeeded on
+	// this shard: its replicas are no longer byte-identical and need an
+	// operator rebuild.
+	WritesDiverged bool `json:"writes_diverged,omitempty"`
 }
 
 type replicaStatus struct {
@@ -383,7 +393,8 @@ func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 	c.mu.Unlock()
 	resp := infoResponse{Dims: d, Extended: c.opt.Extended}
 	for _, g := range c.shards {
-		st := shardStatus{Name: g.name, IDBase: g.idBase, IDStride: g.idStride}
+		base, stride := g.idMap()
+		st := shardStatus{Name: g.name, IDBase: base, IDStride: stride, WritesDiverged: g.diverged.Load()}
 		for _, rep := range g.replicas {
 			st.Replicas = append(st.Replicas, replicaStatus{URL: rep.url, Breaker: breakerName(rep.brk.State())})
 		}
@@ -395,11 +406,16 @@ func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 // healthResponse is the coordinator's /healthz payload: ready means every
 // shard currently has at least one replica whose breaker is not open.
 type healthResponse struct {
-	Status      string   `json:"status"`
-	Ready       bool     `json:"ready"`
-	DownShards  []string `json:"down_shards,omitempty"`
-	ShardCount  int      `json:"shards"`
-	ReplicaGoal int      `json:"replicas_per_shard"`
+	Status     string   `json:"status"`
+	Ready      bool     `json:"ready"`
+	DownShards []string `json:"down_shards,omitempty"`
+	// DivergedShards lists shards whose replicas a partial write-all
+	// failure left byte-inconsistent. The cluster still serves (degraded):
+	// reads from such a shard may flip-flop depending on which replica
+	// answers, so operators should rebuild the listed shards.
+	DivergedShards []string `json:"diverged_shards,omitempty"`
+	ShardCount     int      `json:"shards"`
+	ReplicaGoal    int      `json:"replicas_per_shard"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -421,11 +437,17 @@ func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Ready = false
 			resp.DownShards = append(resp.DownShards, g.name)
 		}
+		if g.diverged.Load() {
+			resp.DivergedShards = append(resp.DivergedShards, g.name)
+		}
 	}
 	if !resp.Ready {
 		resp.Status = "unavailable"
 		writeJSONStatus(w, http.StatusServiceUnavailable, resp)
 		return
+	}
+	if len(resp.DivergedShards) > 0 {
+		resp.Status = "degraded"
 	}
 	writeJSON(w, resp)
 }
@@ -444,6 +466,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // through the shard's id arithmetic.
 type insertRequest struct {
 	Points [][]float32 `json:"points"`
+	// Batch optionally makes the insert idempotent end-to-end: the
+	// coordinator derives per-shard batch ids from it (generating one when
+	// absent), and shard replicas replay rather than re-apply a batch id
+	// they have already accepted. Point routing is deterministic, so
+	// resending the same batch returns the same global ids.
+	Batch string `json:"batch,omitempty"`
 }
 
 type insertResponse struct {
@@ -455,6 +483,15 @@ type insertResponse struct {
 // the coordinator needs.
 type shardInsertResponse struct {
 	IDs []int32 `json:"ids"`
+}
+
+// newBatchID returns a fresh idempotency token for one insert request.
+func newBatchID() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return fmt.Sprintf("b%x", rand.Uint64())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -474,6 +511,29 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `missing points (e.g. {"points": [[1,2,3]]})`, http.StatusBadRequest)
 		return
 	}
+	// Range-partitioned clusters (stride-1 id blocks) cannot accept
+	// inserts: shard s's next local row n_s maps to global id
+	// base_s + n_s, which is exactly shard s+1's base — two distinct
+	// points would share a global id, the merge would silently drop one,
+	// and deletes would route to the wrong shard. Range mode is read-only;
+	// refuse rather than corrupt.
+	if len(c.shards) > 1 {
+		for _, g := range c.shards {
+			if _, stride := g.idMap(); stride == 1 {
+				http.Error(w, fmt.Sprintf(
+					"shard %s is range-partitioned (id stride 1): inserted ids would collide with the next shard's id block; range-partitioned clusters are read-only (use round-robin partitions for writable clusters)",
+					g.name), http.StatusConflict)
+				return
+			}
+		}
+	}
+	// Per-shard batch ids make replica writes idempotent: a retry after a
+	// timeout (the first attempt may or may not have been applied) replays
+	// the shard's original response instead of inserting twice.
+	batch := req.Batch
+	if batch == "" {
+		batch = newBatchID()
+	}
 	// Group the batch per owning shard, remembering request order.
 	perShard := make(map[int][]int, len(c.shards)) // shard index -> request indices
 	for i, p := range req.Points {
@@ -483,11 +543,20 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 	resp := insertResponse{IDs: make([]int32, len(req.Points)), Routed: map[string]int{}}
 	for s, idxs := range perShard {
 		g := c.shards[s]
+		base, stride := g.idMap()
+		if stride <= 0 {
+			// The shard never reported its id arithmetic (spec left it zero
+			// and /shard/info was unreachable): the global ids would be
+			// garbage, so refuse until a Refresh learns the mapping.
+			http.Error(w, fmt.Sprintf("shard %s id mapping unknown (unreachable at refresh?)", g.name),
+				http.StatusServiceUnavailable)
+			return
+		}
 		pts := make([][]float32, len(idxs))
 		for k, i := range idxs {
 			pts[k] = req.Points[i]
 		}
-		body, err := json.Marshal(insertRequest{Points: pts})
+		body, err := json.Marshal(insertRequest{Points: pts, Batch: batch + "/" + g.name})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -496,7 +565,11 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 		// replica set stays byte-identical (and agrees on assigned ids).
 		bodies, err := c.client.post(r.Context(), g, "/insert", body)
 		if err != nil {
-			http.Error(w, fmt.Sprintf("insert failed on shard %s: %v", g.name, err), http.StatusBadGateway)
+			status := http.StatusBadGateway
+			if isCallerError(err) {
+				status = http.StatusBadRequest
+			}
+			http.Error(w, fmt.Sprintf("insert failed on shard %s: %v", g.name, err), status)
 			return
 		}
 		var localIDs []int32
@@ -522,7 +595,7 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		for k, i := range idxs {
-			resp.IDs[i] = int32(g.idBase) + localIDs[k]*int32(g.idStride)
+			resp.IDs[i] = int32(base) + localIDs[k]*int32(stride)
 		}
 		resp.Routed[g.name] += len(idxs)
 	}
@@ -545,18 +618,21 @@ type deleteResponse struct {
 // right block).
 func (c *Coordinator) ownerOf(id int32) (*shardGroup, int32, bool) {
 	var best *shardGroup
+	var bestBase int
 	var bestLocal int32
 	for _, g := range c.shards {
-		if g.idStride <= 0 {
+		base, stride := g.idMap()
+		if stride <= 0 {
 			continue
 		}
-		off := int(id) - g.idBase
-		if off < 0 || off%g.idStride != 0 {
+		off := int(id) - base
+		if off < 0 || off%stride != 0 {
 			continue
 		}
-		if best == nil || g.idBase > best.idBase {
+		if best == nil || base > bestBase {
 			best = g
-			bestLocal = int32(off / g.idStride)
+			bestBase = base
+			bestLocal = int32(off / stride)
 		}
 	}
 	return best, bestLocal, best != nil

@@ -77,3 +77,57 @@ func TestInsertRejectsNonFinite(t *testing.T) {
 		t.Fatalf("rejected inserts still buffered: %+v", after)
 	}
 }
+
+// TestInsertBatchIdempotent drives the batch-tagged insert path: a
+// duplicate batch id replays the original response without applying the
+// points again, so a coordinator retry after a timed-out (but applied)
+// write cannot double-insert.
+func TestInsertBatchIdempotent(t *testing.T) {
+	s, up := newUpdaterServer(t, Options{})
+	body := `{"points": [[10.5, 2, 30]], "batch": "b1"}`
+	rec1 := post(t, s, "/insert", body)
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("first batch insert: status %d: %s", rec1.Code, rec1.Body.String())
+	}
+	ins1, _ := up.Pending()
+	rec2 := post(t, s, "/insert", body)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("replayed batch insert: status %d: %s", rec2.Code, rec2.Body.String())
+	}
+	if rec1.Body.String() != rec2.Body.String() {
+		t.Fatalf("replay differs from original:\n%s\n%s", rec1.Body.String(), rec2.Body.String())
+	}
+	if ins2, _ := up.Pending(); ins2 != ins1 {
+		t.Fatalf("duplicate batch re-applied: pending %d -> %d", ins1, ins2)
+	}
+	// A fresh batch id applies normally.
+	rec3 := post(t, s, "/insert", `{"points": [[10.5, 2, 30]], "batch": "b2"}`)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("fresh batch insert: status %d", rec3.Code)
+	}
+	if ins3, _ := up.Pending(); ins3 != ins1+1 {
+		t.Fatalf("fresh batch not applied: pending %d, want %d", ins3, ins1+1)
+	}
+	// A failed batch replays its failure too: the valid prefix buffered by
+	// the first attempt must not be buffered a second time on retry. (A
+	// dims mismatch fails at Updater.Insert, after the prefix is buffered —
+	// unlike non-finite values, which die at JSON decode.)
+	bad := `{"points": [[10.5, 2, 30], [1, 2]], "batch": "b3"}`
+	before, _ := up.Pending()
+	rec4 := post(t, s, "/insert", bad)
+	if rec4.Code != http.StatusBadRequest {
+		t.Fatalf("bad batch insert: status %d, want 400", rec4.Code)
+	}
+	mid, _ := up.Pending()
+	if mid != before+1 {
+		t.Fatalf("valid prefix not buffered: pending %d, want %d", mid, before+1)
+	}
+	rec5 := post(t, s, "/insert", bad)
+	if rec5.Code != http.StatusBadRequest || rec5.Body.String() != rec4.Body.String() {
+		t.Fatalf("failed batch replay: status %d, body %q, want 400 %q",
+			rec5.Code, rec5.Body.String(), rec4.Body.String())
+	}
+	if after, _ := up.Pending(); after != mid {
+		t.Fatalf("retried failed batch re-buffered its prefix: pending %d -> %d", mid, after)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -100,7 +101,27 @@ type Server struct {
 	// unready-making operations (compactions).
 	notReady atomic.Bool
 	busy     atomic.Int32
+
+	// batchMu serialises batch-tagged (idempotent) inserts and guards the
+	// replay cache: a duplicate arriving while the original is still
+	// applying waits and then replays instead of racing it to a double
+	// insert.
+	batchMu    sync.Mutex
+	batchResp  map[string]batchReply
+	batchOrder []string
 }
+
+// batchReply is a remembered /insert outcome, replayed verbatim (status
+// included) when the same batch id arrives again.
+type batchReply struct {
+	status int
+	body   []byte
+}
+
+// maxRememberedBatches caps the replay cache; the oldest entries are
+// evicted first. Retries arrive within seconds, so thousands of batches of
+// slack is plenty.
+const maxRememberedBatches = 4096
 
 // New builds a handler for a materialised skycube with no observability
 // extras — the original three endpoints only.
@@ -460,6 +481,12 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 // returned ids are buffered — they become visible at the next /flush.
 type insertRequest struct {
 	Points [][]float32 `json:"points"`
+	// Batch, when non-empty, makes the insert idempotent: a batch id seen
+	// before replays the original response (status included) without
+	// applying anything. The cluster coordinator tags every replica write
+	// with one, so a retry after a timeout — where the first attempt may or
+	// may not have been applied — cannot double-insert.
+	Batch string `json:"batch,omitempty"`
 }
 
 type insertResponse struct {
@@ -480,20 +507,70 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `missing points (e.g. {"points": [[1,2,3]]})`, http.StatusBadRequest)
 		return
 	}
+	if req.Batch != "" {
+		s.batchMu.Lock()
+		defer s.batchMu.Unlock()
+		if rep, ok := s.batchResp[req.Batch]; ok {
+			s.replayBatch(w, rep)
+			return
+		}
+	}
 	ids := make([]int32, 0, len(req.Points))
 	for i, p := range req.Points {
 		id, err := s.opt.Updater.Insert(p)
 		if err != nil {
 			// Earlier points in the request stay buffered; report how far
-			// the request got so the client can reconcile.
-			http.Error(w, fmt.Sprintf("point %d: %v (%d of %d points buffered)",
-				i, err, len(ids), len(req.Points)), http.StatusBadRequest)
+			// the request got so the client can reconcile. Remembering the
+			// failure keeps even a retried partial batch idempotent — the
+			// buffered prefix is not re-applied.
+			msg := fmt.Sprintf("point %d: %v (%d of %d points buffered)",
+				i, err, len(ids), len(req.Points))
+			if req.Batch != "" {
+				s.rememberBatch(req.Batch, batchReply{status: http.StatusBadRequest, body: []byte(msg)})
+			}
+			http.Error(w, msg, http.StatusBadRequest)
 			return
 		}
 		ids = append(ids, id)
 	}
 	ins, del := s.opt.Updater.Pending()
-	writeJSON(w, insertResponse{IDs: ids, PendingInserts: ins, PendingDeletes: del})
+	resp := insertResponse{IDs: ids, PendingInserts: ins, PendingDeletes: del}
+	if req.Batch != "" {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		rep := batchReply{status: http.StatusOK, body: buf.Bytes()}
+		s.rememberBatch(req.Batch, rep)
+		s.replayBatch(w, rep)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// rememberBatch stores a batch outcome for replay, evicting the oldest
+// entries beyond the cap. The caller holds batchMu.
+func (s *Server) rememberBatch(id string, rep batchReply) {
+	if s.batchResp == nil {
+		s.batchResp = make(map[string]batchReply)
+	}
+	s.batchResp[id] = rep
+	s.batchOrder = append(s.batchOrder, id)
+	for len(s.batchOrder) > maxRememberedBatches {
+		delete(s.batchResp, s.batchOrder[0])
+		s.batchOrder = s.batchOrder[1:]
+	}
+}
+
+// replayBatch writes a remembered batch outcome.
+func (s *Server) replayBatch(w http.ResponseWriter, rep batchReply) {
+	if rep.status != http.StatusOK {
+		http.Error(w, string(rep.body), rep.status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(rep.body)
 }
 
 // deleteRequest is the POST /delete body; deleteResponse its payload.
