@@ -16,13 +16,15 @@ import (
 // the full single-node endpoint set plus /shard/cuboid and /shard/info,
 // with local rows mapped to global ids via -id-base/-id-stride.
 func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
-	idBase, idStride int, withPprof bool, maxBody int64) {
+	idBase, idStride int, withPprof bool, maxBody int64, cacheEntries int, noCache bool) {
 	sh, err := cluster.NewShard(ds, opt, cluster.ShardOptions{
 		IDBase:       idBase,
 		IDStride:     idStride,
 		Metrics:      opt.Metrics,
 		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
 		MaxBodyBytes: maxBody,
+		CacheEntries: cacheEntries,
+		DisableCache: noCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)
@@ -41,7 +43,7 @@ func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 // given as a flat URL list: with -replicas R, each consecutive run of R
 // URLs is one shard's replica set.
 func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
-	timeout, hedgeDelay time.Duration, withPprof bool) {
+	timeout, hedgeDelay time.Duration, withPprof bool, cacheEntries int, noCache bool) {
 	urls := splitNonEmpty(shardList)
 	if len(urls) == 0 {
 		fmt.Fprintln(os.Stderr, "skycubed: -coordinator requires -shards url,url,...")
@@ -61,11 +63,13 @@ func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
 	}
 	metrics := skycube.NewMetrics()
 	coord, err := cluster.NewCoordinator(specs, cluster.CoordinatorOptions{
-		Timeout:    timeout,
-		HedgeDelay: hedgeDelay,
-		Extended:   extended,
-		Metrics:    metrics,
-		Logger:     log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		Timeout:      timeout,
+		HedgeDelay:   hedgeDelay,
+		Extended:     extended,
+		Metrics:      metrics,
+		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		CacheEntries: cacheEntries,
+		DisableCache: noCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)

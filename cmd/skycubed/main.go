@@ -92,6 +92,8 @@ func main() {
 	extended := flag.Bool("extended", false, "with -coordinator: fetch extended skylines S⁺ from shards instead of materialised cuboids")
 	clusterTimeout := flag.Duration("cluster-timeout", 0, "with -coordinator: per-attempt shard request timeout (0 = default 2s)")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "with -coordinator: delay before hedging a slow read to a second replica (0 = default 50ms, negative disables)")
+	cacheEntries := flag.Int("cache-entries", 0, "with -serve: LRU bound of the epoch-keyed response cache (0 = default 4096)")
+	noCache := flag.Bool("no-cache", false, "with -serve: disable response caching (the ETag/304 contract remains)")
 	flag.Parse()
 
 	if *coordinator {
@@ -103,7 +105,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skycubed: -coordinator takes no data file")
 			os.Exit(2)
 		}
-		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag)
+		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag, *cacheEntries, *noCache)
 		return
 	}
 
@@ -170,7 +172,7 @@ func main() {
 			AutoCompact:     true,
 			CompactFraction: *compactFraction,
 		}
-		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody)
+		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache)
 		return
 	}
 
@@ -192,7 +194,7 @@ func main() {
 		snap := up.Current()
 		fmt.Printf("built maintainable %s skycube of %d×%d (%d stored ids, epoch %d)\n",
 			algo, ds.Len(), ds.Dims(), snap.IDCount(), snap.Epoch())
-		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody)
+		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody, *cacheEntries, *noCache)
 		return
 	}
 
@@ -225,7 +227,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		runServer(*serve, cube, ds, opt, stats, algo, *pprofFlag)
+		runServer(*serve, cube, ds, opt, stats, algo, *pprofFlag, *cacheEntries, *noCache)
 		return
 	}
 	if len(queries) == 0 {
@@ -247,7 +249,8 @@ func main() {
 // runServer serves the cube until SIGINT/SIGTERM, then drains in-flight
 // requests for up to ten seconds before exiting.
 func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
-	opt skycube.Options, stats skycube.Stats, algo skycube.Algorithm, withPprof bool) {
+	opt skycube.Options, stats skycube.Stats, algo skycube.Algorithm, withPprof bool,
+	cacheEntries int, noCache bool) {
 	srv := server.NewWith(cube, ds, server.Options{
 		BuildInfo: &server.BuildInfo{
 			Algorithm:       algo.String(),
@@ -258,9 +261,11 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 			Shares:          stats.Shares,
 			GPUModelSeconds: stats.GPUModelSeconds,
 		},
-		Metrics: opt.Metrics,
-		Trace:   opt.Trace,
-		Logger:  log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		Metrics:      opt.Metrics,
+		Trace:        opt.Trace,
+		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		CacheEntries: cacheEntries,
+		DisableCache: noCache,
 	})
 	mountPprof(srv, withPprof)
 	serveAndDrain(addr, srv,
@@ -269,13 +274,16 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 
 // runUpdaterServer serves a maintainable skycube: snapshot reads plus the
 // mutation endpoints.
-func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, withPprof bool, maxBody int64) {
+func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, withPprof bool,
+	maxBody int64, cacheEntries int, noCache bool) {
 	srv := server.NewWith(nil, nil, server.Options{
 		Updater:      up,
 		MaxBodyBytes: maxBody,
 		Metrics:      opt.Metrics,
 		Trace:        opt.Trace,
 		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		CacheEntries: cacheEntries,
+		DisableCache: noCache,
 	})
 	mountPprof(srv, withPprof)
 	serveAndDrain(addr, srv,

@@ -1,0 +1,94 @@
+// Cluster serving benchmarks: the coordinator's write-generation memo
+// versus a full scatter-gather-merge per query.
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"skycube"
+)
+
+// benchNopWriter mirrors the server package's benchmark writer.
+type benchNopWriter struct {
+	h http.Header
+}
+
+func (w *benchNopWriter) Header() http.Header         { return w.h }
+func (w *benchNopWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *benchNopWriter) WriteHeader(int)             {}
+
+func (w *benchNopWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+}
+
+// benchCluster wires a K=2, R=1 cluster over loopback HTTP.
+func benchCluster(b *testing.B, disableCache bool) (*Coordinator, func()) {
+	b.Helper()
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 2048, 4, 103)
+	parts, err := ds.Partition(2, skycube.RoundRobinPartition)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cleanups []func()
+	var specs []ShardSpec
+	for s, part := range parts {
+		sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{IDBase: s, IDStride: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(sh)
+		cleanups = append(cleanups, srv.Close, sh.Close)
+		specs = append(specs, ShardSpec{Replicas: []string{srv.URL}, IDBase: s, IDStride: 2})
+	}
+	coord, err := NewCoordinator(specs, CoordinatorOptions{
+		Timeout:      5 * time.Second,
+		DisableCache: disableCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coord, func() {
+		for _, f := range cleanups {
+			f()
+		}
+	}
+}
+
+func benchClusterRequest(b *testing.B, coord *Coordinator, disabled bool) {
+	b.Helper()
+	u, err := url.Parse("/skyline?dims=0,1,3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}
+	w := &benchNopWriter{h: http.Header{}}
+	coord.ServeHTTP(w, req) // learn dims; warm the memo when enabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		coord.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkClusterServeHot: a warm coordinator serves the merged bytes
+// with no shard traffic — no fan-out, no hedging, no merge, no encode.
+func BenchmarkClusterServeHot(b *testing.B) {
+	coord, done := benchCluster(b, false)
+	defer done()
+	benchClusterRequest(b, coord, false)
+}
+
+// BenchmarkClusterServeCold scatter-gathers and merges on every request
+// (two HTTP round trips per query on loopback).
+func BenchmarkClusterServeCold(b *testing.B) {
+	coord, done := benchCluster(b, true)
+	defer done()
+	benchClusterRequest(b, coord, true)
+}

@@ -156,6 +156,10 @@ func TestChaosKilledReplicaFailover(t *testing.T) {
 		HedgeDelay:  5 * time.Millisecond,
 		BackoffBase: time.Millisecond,
 		BackoffMax:  5 * time.Millisecond,
+		// This test exercises the fan-out failover machinery; with the
+		// read memo on, the post-kill repeats of an already-answered query
+		// would be served from cache and never touch a replica.
+		DisableCache: true,
 	})
 	cube, _, err := skycube.Build(ds, skycube.Options{Threads: 2})
 	if err != nil {

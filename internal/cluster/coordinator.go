@@ -6,6 +6,7 @@ import (
 	cryptorand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -14,10 +15,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"skycube/internal/mask"
 	"skycube/internal/obs"
+	"skycube/internal/rcache"
 )
 
 // ShardSpec names one shard of the cluster: its replica URLs (all serving
@@ -56,6 +59,16 @@ type CoordinatorOptions struct {
 	// an O(1) cube lookup per shard, S⁺_δ is the literal candidate set of
 	// the partition-and-merge theory (and an input scan per query).
 	Extended bool
+	// CacheEntries bounds the coordinator's merged-response cache (LRU);
+	// 0 means rcache.DefaultEntries.
+	CacheEntries int
+	// DisableCache turns merged-response memoization off. With it set every
+	// query scatter-gathers; without it a query whose answer cannot have
+	// changed — no write was routed through this coordinator since it was
+	// cached — is served as pre-encoded bytes with no shard traffic at all.
+	// Writes applied directly to shards (bypassing this coordinator) are
+	// invisible to the memo; run multi-writer topologies with DisableCache.
+	DisableCache bool
 	// Metrics, if non-nil, receives skycube_cluster_* families and enables
 	// GET /metrics.
 	Metrics *obs.Registry
@@ -112,6 +125,21 @@ type Coordinator struct {
 	opt    CoordinatorOptions
 	mux    *http.ServeMux
 
+	// cache memoizes merged /skyline responses under two key families: the
+	// write-generation key ("q|" + query, epoch = writeGen) that lets a
+	// repeat query skip the fan-out — hedges, retries, breakers and merge —
+	// entirely, and the shard-epoch-vector key ("v|" + query, epoch = FNV
+	// of the gathered epochs) that skips the merge and encode when a
+	// re-gather proves the shards unchanged. nil when disabled.
+	cache   *rcache.Cache
+	cacheCM *obs.CacheMetrics
+	// writeGen counts mutations routed through this coordinator; it
+	// advances when a write finishes (successfully or not), so any response
+	// gathered concurrently with the write is cached under an already-dead
+	// generation. Shard epochs only advance through writes, which makes
+	// generation-keyed reuse exact for single-writer topologies.
+	writeGen atomic.Uint64
+
 	mu   sync.Mutex
 	dims int // learned from /shard/info; 0 until known
 }
@@ -159,6 +187,10 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 			g.replicas = append(g.replicas, rep)
 		}
 		c.shards = append(c.shards, g)
+	}
+	c.cacheCM = obs.NewCacheMetrics(opt.Metrics, "coordinator")
+	if !opt.DisableCache {
+		c.cache = rcache.New(opt.CacheEntries, c.cacheCM)
 	}
 	c.ring = newRing(labels)
 	c.mux = http.NewServeMux()
@@ -248,10 +280,38 @@ type gatherResult struct {
 	err   error
 }
 
+// mergeScratch holds one query's gather/merge slices, recycled through
+// mergePool so the steady-state serving path stops allocating them.
+type mergeScratch struct {
+	cands []candidate
+	ids   []int32
+}
+
+var mergePool = sync.Pool{New: func() interface{} { return new(mergeScratch) }}
+
+// maxPooledCandidates caps what a scratch may retain back into the pool: a
+// pathological huge answer should not pin its backing arrays (and the
+// candidate point slices they reference) forever.
+const maxPooledCandidates = 1 << 16
+
+func (s *mergeScratch) release() {
+	if cap(s.cands) > maxPooledCandidates {
+		return
+	}
+	// Drop the point references so pooling does not pin decoded bodies.
+	for i := range s.cands {
+		s.cands[i] = candidate{}
+	}
+	s.cands = s.cands[:0]
+	s.ids = s.ids[:0]
+	mergePool.Put(s)
+}
+
 // gather scatters the cuboid request to every shard concurrently and
 // collects the responses; failed shards (all replicas exhausted) are
-// reported, not fatal.
-func (c *Coordinator) gather(ctx context.Context, delta mask.Mask) ([]candidate, map[string]uint64, []string) {
+// reported, not fatal. The candidate slice is assembled into scratch,
+// pre-sized from the shard-reported counts instead of grown from zero.
+func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, []string) {
 	path := fmt.Sprintf("/shard/cuboid?subspace=%d", uint32(delta))
 	if c.opt.Extended {
 		path += "&extended=true"
@@ -277,9 +337,10 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask) ([]candidate,
 			ch <- gatherResult{shard: g.name, resp: &resp}
 		}(g)
 	}
-	var cands []candidate
+	responses := make([]*cuboidResponse, 0, len(c.shards))
 	epochs := make(map[string]uint64, len(c.shards))
 	var failed []string
+	total := 0
 	for range c.shards {
 		r := <-ch
 		if r.err != nil {
@@ -287,12 +348,46 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask) ([]candidate,
 			continue
 		}
 		epochs[r.shard] = r.resp.Epoch
-		for i, id := range r.resp.IDs {
-			cands = append(cands, candidate{id: id, point: r.resp.Points[i]})
+		responses = append(responses, r.resp)
+		total += len(r.resp.IDs)
+	}
+	if cap(scratch.cands) < total {
+		scratch.cands = make([]candidate, 0, total)
+	}
+	cands := scratch.cands[:0]
+	for _, resp := range responses {
+		for i, id := range resp.IDs {
+			cands = append(cands, candidate{id: id, point: resp.Points[i]})
 		}
 	}
+	scratch.cands = cands
 	sort.Strings(failed)
 	return cands, epochs, failed
+}
+
+// epochVectorHash folds the gathered per-shard epochs — in the fixed shard
+// order — into one 64-bit key: FNV-1a with a splitmix64 finalizer (see
+// hashBytes). Two gathers with identical epoch vectors are byte-identical
+// responses, so the hash memoizes the merge across unrelated writes.
+func (c *Coordinator) epochVectorHash(epochs map[string]uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, g := range c.shards {
+		e := epochs[g.name]
+		for b := 0; b < 8; b++ {
+			h ^= (e >> (8 * b)) & 0xff
+			h *= prime64
+		}
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // skylineResponse is the coordinator's /skyline payload. Partial is set —
@@ -310,11 +405,42 @@ type skylineResponse struct {
 	Epochs       map[string]uint64 `json:"epochs,omitempty"`
 }
 
+// Key-variant prefixes namespace the coordinator cache's two key families
+// (the Epoch field carries a write generation in one and an epoch-vector
+// hash in the other, and the two value spaces must never collide).
+const (
+	genKeyPrefix   = "q|"
+	epochKeyPrefix = "v|"
+)
+
+// partialError carries an explicitly partial (206) response out of the
+// cache fill: partial answers are served but never memoized, and marked
+// no-store so intermediaries don't cache a degraded answer either.
+type partialError struct{ body []byte }
+
+func (e *partialError) Error() string { return "cluster: partial response" }
+
+// gatewayError is the all-shards-unreachable outcome (HTTP 502).
+type gatewayError struct{ msg string }
+
+func (e *gatewayError) Error() string { return e.msg }
+
 func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
 	start := time.Now()
+	// Fast path: a query already answered at this write generation cannot
+	// have changed (shard epochs advance only through routed writes), so
+	// serve the memoized bytes with no fan-out — no hedges, no retries, no
+	// breaker traffic, no merge.
+	if c.cache != nil {
+		if e, ok := c.cache.Get(rcache.Key{Epoch: c.writeGen.Load(), Variant: genKeyPrefix + r.URL.RawQuery}); ok {
+			rcache.Serve(w, r, e, c.cacheCM)
+			c.cm.Query(time.Since(start), false)
+			return
+		}
+	}
 	d, err := c.dimsOrRefresh(r.Context())
 	if err != nil {
 		http.Error(w, fmt.Sprintf("cluster not ready: %v", err), http.StatusServiceUnavailable)
@@ -325,13 +451,76 @@ func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, errMsg, http.StatusBadRequest)
 		return
 	}
-	cands, epochs, failed := c.gather(r.Context(), delta)
-	if len(failed) == len(c.shards) {
-		http.Error(w, fmt.Sprintf("all %d shards unreachable", len(c.shards)), http.StatusBadGateway)
-		c.cm.Query(time.Since(start), false)
+	// Read the generation before gathering: a write landing mid-gather
+	// bumps it when it completes, so whatever mix of old and new shard
+	// state this query observed is stored under an already-dead key.
+	gen := c.writeGen.Load()
+	entry, err := c.cache.Fill(rcache.Key{Epoch: gen, Variant: genKeyPrefix + r.URL.RawQuery},
+		func() (*rcache.Entry, error) {
+			return c.computeSkyline(r.Context(), r.URL.RawQuery, dims, delta)
+		})
+	if err != nil {
+		var pe *partialError
+		var ge *gatewayError
+		switch {
+		case errors.As(err, &pe):
+			w.Header().Set("Cache-Control", "no-store")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusPartialContent)
+			_, _ = w.Write(pe.body)
+			c.cm.Query(time.Since(start), true)
+		case errors.As(err, &ge):
+			http.Error(w, ge.msg, http.StatusBadGateway)
+			c.cm.Query(time.Since(start), false)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 		return
 	}
-	ids := mergeSkyline(cands, delta)
+	rcache.Serve(w, r, entry, c.cacheCM)
+	c.cm.Query(time.Since(start), false)
+}
+
+// computeSkyline runs one scatter-gather-merge and returns the encoded
+// response entry, or a partialError/gatewayError for degraded outcomes.
+// Runs under the cache's singleflight gate, so concurrent identical cold
+// queries share one fan-out.
+func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims []int, delta mask.Mask) (*rcache.Entry, error) {
+	scratch := mergePool.Get().(*mergeScratch)
+	defer scratch.release()
+	cands, epochs, failed := c.gather(ctx, delta, scratch)
+	if len(failed) == len(c.shards) {
+		return nil, &gatewayError{msg: fmt.Sprintf("all %d shards unreachable", len(c.shards))}
+	}
+	if len(failed) == 0 {
+		// Complete answer: the shard-epoch vector fully determines the
+		// response bytes. If an identical vector was merged before — under
+		// any write generation — reuse it and skip the merge and encode.
+		evKey := rcache.Key{Epoch: c.epochVectorHash(epochs), Variant: epochKeyPrefix + rawQuery}
+		if e, ok := c.cache.Get(evKey); ok {
+			return e, nil
+		}
+		ids := mergeSkyline(cands, delta, scratch.ids)
+		scratch.ids = ids
+		c.cm.Merge(len(cands), len(ids))
+		resp := skylineResponse{
+			Dims:       dims,
+			Subspace:   uint32(delta),
+			Count:      len(ids),
+			IDs:        ids,
+			Candidates: len(cands),
+			Epochs:     epochs,
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			return nil, err
+		}
+		e := rcache.NewEntry(fmt.Sprintf(`"v%x-s%d"`, evKey.Epoch, uint32(delta)), buf.Bytes())
+		c.cache.Put(evKey, e)
+		return e, nil
+	}
+	ids := mergeSkyline(cands, delta, scratch.ids)
+	scratch.ids = ids
 	c.cm.Merge(len(cands), len(ids))
 	resp := skylineResponse{
 		Dims:         dims,
@@ -339,16 +528,15 @@ func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		Count:        len(ids),
 		IDs:          ids,
 		Candidates:   len(cands),
-		Partial:      len(failed) > 0,
+		Partial:      true,
 		FailedShards: failed,
 		Epochs:       epochs,
 	}
-	c.cm.Query(time.Since(start), resp.Partial)
-	if resp.Partial {
-		writeJSONStatus(w, http.StatusPartialContent, resp)
-		return
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, err
 	}
-	writeJSON(w, resp)
+	return nil, &partialError{body: buf.Bytes()}
 }
 
 // infoResponse is the coordinator's /info payload.
@@ -527,6 +715,11 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Invalidate the read memo when the write finishes — success or not,
+	// since a failed write-all may have partially applied. Bumping at
+	// completion (not start) matters: a read that gathered pre-write shard
+	// state must not be cached under the post-write generation.
+	defer c.writeGen.Add(1)
 	// Per-shard batch ids make replica writes idempotent: a retry after a
 	// timeout (the first attempt may or may not have been applied) replays
 	// the shard's original response instead of inserting twice.
@@ -655,6 +848,9 @@ func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `missing ids (e.g. {"ids": [17]})`, http.StatusBadRequest)
 		return
 	}
+	// Bump the read-memo generation when the delete finishes (see
+	// handleInsert for why completion, not start).
+	defer c.writeGen.Add(1)
 	perShard := make(map[*shardGroup][]int32)
 	for _, id := range req.IDs {
 		g, local, ok := c.ownerOf(id)
@@ -695,6 +891,8 @@ func (c *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
+	// Flush advances shard epochs, so the read memo must roll over with it.
+	defer c.writeGen.Add(1)
 	resp := flushResponse{Epochs: map[string]uint64{}}
 	var mu sync.Mutex
 	var wg sync.WaitGroup

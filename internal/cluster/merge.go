@@ -27,7 +27,11 @@ type candidate struct {
 // global skyline member and therefore also in the union, so the filter
 // removes exactly the non-members. Ids return sorted ascending, matching
 // single-node Skycube.Skyline output.
-func mergeSkyline(cands []candidate, delta mask.Mask) []int32 {
+//
+// cands is consumed (sorted and compacted in place), and the result reuses
+// scratch's backing array when it is large enough — both slices come from
+// the serving path's mergeScratch pool.
+func mergeSkyline(cands []candidate, delta mask.Mask, scratch []int32) []int32 {
 	// Sort by id and drop duplicates up front (a retried sub-request can in
 	// principle deliver a shard's answer twice); dominance-by-duplicate
 	// would otherwise be ambiguous under Definition 1's tie handling.
@@ -38,7 +42,10 @@ func mergeSkyline(cands []candidate, delta mask.Mask) []int32 {
 			uniq = append(uniq, c)
 		}
 	}
-	out := make([]int32, 0, len(uniq))
+	out := scratch[:0]
+	if cap(out) < len(uniq) {
+		out = make([]int32, 0, len(uniq))
+	}
 	for i, c := range uniq {
 		dominated := false
 		for j, q := range uniq {

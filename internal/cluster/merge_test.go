@@ -15,7 +15,7 @@ func TestMergeSkylineFiltersDominated(t *testing.T) {
 		{id: 2, point: []float32{2, 2, 0}},
 		{id: 9, point: []float32{3, 3, 0}}, // dominated by id 2 (and 5) in {0,1}
 	}
-	got := mergeSkyline(cands, delta)
+	got := mergeSkyline(cands, delta, nil)
 	want := []int32{2, 5}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("mergeSkyline = %v, want %v", got, want)
@@ -30,7 +30,7 @@ func TestMergeSkylineKeepsTies(t *testing.T) {
 		{id: 1, point: []float32{1, 9}},
 		{id: 7, point: []float32{1, 2}},
 	}
-	got := mergeSkyline(cands, delta)
+	got := mergeSkyline(cands, delta, nil)
 	if len(got) != 2 || got[0] != 1 || got[1] != 7 {
 		t.Fatalf("mergeSkyline dropped a tie: %v", got)
 	}
@@ -42,7 +42,7 @@ func TestMergeSkylineDedupsSameID(t *testing.T) {
 		{id: 3, point: []float32{1}},
 		{id: 3, point: []float32{1}}, // a shard answer delivered twice
 	}
-	got := mergeSkyline(cands, delta)
+	got := mergeSkyline(cands, delta, nil)
 	if len(got) != 1 || got[0] != 3 {
 		t.Fatalf("mergeSkyline = %v, want [3]", got)
 	}
@@ -62,7 +62,7 @@ func TestMergeSkylineMatchesBruteForce(t *testing.T) {
 			}
 			cands[i] = candidate{id: int32(i), point: p}
 		}
-		got := mergeSkyline(append([]candidate(nil), cands...), delta)
+		got := mergeSkyline(append([]candidate(nil), cands...), delta, nil)
 		inGot := map[int32]bool{}
 		for _, id := range got {
 			inGot[id] = true

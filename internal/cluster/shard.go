@@ -21,16 +21,20 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 
 	"skycube"
 	"skycube/internal/data"
 	"skycube/internal/mask"
 	"skycube/internal/obs"
+	"skycube/internal/rcache"
 	"skycube/internal/server"
 	"skycube/internal/skyline"
 )
@@ -50,6 +54,12 @@ type ShardOptions struct {
 	Logger *log.Logger
 	// MaxBodyBytes caps mutation bodies (0 = server default, 1 MiB).
 	MaxBodyBytes int64
+	// CacheEntries bounds the shard's /shard/cuboid response cache and the
+	// embedded server's read cache (0 = rcache.DefaultEntries).
+	CacheEntries int
+	// DisableCache turns response memoization off on both surfaces
+	// (the ETag/304 contract remains).
+	DisableCache bool
 }
 
 // Shard is a shard node: a maintainable skycube over one horizontal
@@ -65,6 +75,12 @@ type Shard struct {
 	threads int
 	base    int
 	stride  int
+
+	// cache memoizes encoded /shard/cuboid responses per (epoch, query):
+	// a coordinator fan-out of a warm subspace is a map probe and a byte
+	// copy, not an extraction plus an encode. Nil when disabled.
+	cache *rcache.Cache
+	cm    *obs.CacheMetrics
 }
 
 // NewShard builds the shard's skycube over its partition (via
@@ -95,11 +111,17 @@ func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Sha
 		base:    sopt.IDBase,
 		stride:  sopt.IDStride,
 	}
+	sh.cm = obs.NewCacheMetrics(sopt.Metrics, "shard")
+	if !sopt.DisableCache {
+		sh.cache = rcache.New(sopt.CacheEntries, sh.cm)
+	}
 	sh.srv = server.NewWith(nil, nil, server.Options{
 		Updater:      up,
 		Metrics:      sopt.Metrics,
 		Logger:       sopt.Logger,
 		MaxBodyBytes: sopt.MaxBodyBytes,
+		CacheEntries: sopt.CacheEntries,
+		DisableCache: sopt.DisableCache,
 	})
 	sh.srv.Handle("/shard/cuboid", http.HandlerFunc(sh.handleCuboid))
 	sh.srv.Handle("/shard/info", http.HandlerFunc(sh.handleInfo))
@@ -142,6 +164,12 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed (use GET)", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.cache != nil {
+		if e, ok := s.cache.Get(rcache.Key{Epoch: s.up.Current().Epoch(), Variant: r.URL.RawQuery}); ok {
+			rcache.Serve(w, r, e, s.cm)
+			return
+		}
+	}
 	spec := r.URL.Query().Get("subspace")
 	v, err := strconv.ParseUint(spec, 10, 32)
 	if err != nil || v == 0 || v >= 1<<uint(s.dims) {
@@ -152,26 +180,46 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 	delta := mask.Mask(v)
 	extended := r.URL.Query().Get("extended") == "true"
 
+	// Key and fill under the snapshot's epoch — the epoch echoed in the
+	// body — so a fan-out racing a flush can never receive bytes whose
+	// payload disagrees with their validator. The singleflight gate means R
+	// replicas' worth of concurrent cold fan-outs cost one extraction here.
 	snap := s.up.Current()
-	var local []int32
-	if extended {
-		local = s.extendedSkyline(snap, delta)
-	} else {
-		local = snap.Skyline(delta)
+	e, err2 := s.cache.Fill(rcache.Key{Epoch: snap.Epoch(), Variant: r.URL.RawQuery},
+		func() (*rcache.Entry, error) {
+			var local []int32
+			if extended {
+				local = s.extendedSkyline(snap, delta)
+			} else {
+				local = snap.Skyline(delta)
+			}
+			resp := cuboidResponse{
+				Subspace: uint32(delta),
+				Epoch:    snap.Epoch(),
+				Extended: extended,
+				Count:    len(local),
+				IDs:      make([]int32, len(local)),
+				Points:   make([][]float32, len(local)),
+			}
+			for i, row := range local {
+				resp.IDs[i] = s.GlobalID(row)
+				resp.Points[i] = snap.Point(row)
+			}
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+				return nil, err
+			}
+			tag := fmt.Sprintf(`"e%d-s%d"`, snap.Epoch(), uint32(delta))
+			if extended {
+				tag = strings.TrimSuffix(tag, `"`) + `-x"`
+			}
+			return rcache.NewEntry(tag, buf.Bytes()), nil
+		})
+	if err2 != nil {
+		http.Error(w, err2.Error(), http.StatusInternalServerError)
+		return
 	}
-	resp := cuboidResponse{
-		Subspace: uint32(delta),
-		Epoch:    snap.Epoch(),
-		Extended: extended,
-		Count:    len(local),
-		IDs:      make([]int32, len(local)),
-		Points:   make([][]float32, len(local)),
-	}
-	for i, row := range local {
-		resp.IDs[i] = s.GlobalID(row)
-		resp.Points[i] = snap.Point(row)
-	}
-	writeJSON(w, resp)
+	rcache.Serve(w, r, e, s.cm)
 }
 
 // extendedSkyline computes the shard-local S⁺_δ over the snapshot's live

@@ -222,4 +222,30 @@ func BenchmarkCompare16(b *testing.B) {
 	}
 }
 
+// BenchmarkCompareIn16 measures the projected DT over a half-populated
+// 16-dim subspace: one trailingZeros per set bit of δ, so the bit-scan cost
+// (bits.TrailingZeros32 vs the old shift loop) dominates the difference.
+func BenchmarkCompareIn16(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := randPoint(rng, 16), randPoint(rng, 16)
+	const delta = mask.Mask(0b1010101010101010)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = CompareIn(p, q, delta).Lt
+	}
+}
+
+// BenchmarkCompareInSparse is the sparse-subspace case (2 of 16 dims, the
+// high bits): the shift loop paid 14+15 iterations here, the hardware bit
+// scan pays one instruction per set bit.
+func BenchmarkCompareInSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	p, q := randPoint(rng, 16), randPoint(rng, 16)
+	const delta = mask.Mask(0b1100000000000000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = CompareIn(p, q, delta).Lt
+	}
+}
+
 var sink mask.Mask

@@ -1,0 +1,126 @@
+package obs
+
+// CacheMetrics bundles the skycube_cache_* families of the materialized
+// read path (internal/rcache): hits, misses, singleflight coalesces,
+// evictions, conditional-request 304s and bytes served, all labelled by
+// serving layer ("node", "shard", "coordinator"). A nil *CacheMetrics is
+// valid everywhere and records nothing.
+//
+// Unlike the other bundles, every handle is resolved once at construction:
+// the cache-hit path is the hottest read path in the system and must not
+// pay the registry's map lookup — or any allocation — per request.
+type CacheMetrics struct {
+	hits        *Counter
+	misses      *Counter
+	coalesced   *Counter
+	evictions   *Counter
+	notModified *Counter
+	bytes       *Counter
+	entries     *Gauge
+}
+
+// NewCacheMetrics wires cache metrics for one serving layer into reg; a nil
+// registry yields a nil (no-op) bundle.
+func NewCacheMetrics(reg *Registry, layer string) *CacheMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &CacheMetrics{
+		hits: reg.CounterM("skycube_cache_hits_total",
+			"Materialized read-path cache hits (responses served as pre-encoded bytes).",
+			"layer", layer),
+		misses: reg.CounterM("skycube_cache_misses_total",
+			"Materialized read-path cache misses (response computed and encoded).",
+			"layer", layer),
+		coalesced: reg.CounterM("skycube_cache_coalesced_total",
+			"Requests that waited on another request's in-flight fill (singleflight).",
+			"layer", layer),
+		evictions: reg.CounterM("skycube_cache_evictions_total",
+			"Cache entries evicted by the LRU bound.",
+			"layer", layer),
+		notModified: reg.CounterM("skycube_cache_not_modified_total",
+			"Conditional requests answered 304 Not Modified via If-None-Match.",
+			"layer", layer),
+		bytes: reg.CounterM("skycube_cache_bytes_served_total",
+			"Response bytes served straight from the cache.",
+			"layer", layer),
+		entries: reg.GaugeM("skycube_cache_entries",
+			"Entries currently resident in the cache.",
+			"layer", layer),
+	}
+}
+
+// Hit records one cache hit serving n pre-encoded bytes.
+func (m *CacheMetrics) Hit(n int) {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+	m.bytes.Add(float64(n))
+}
+
+// Miss records one cache miss (the caller computed and encoded the entry).
+func (m *CacheMetrics) Miss() {
+	if m == nil {
+		return
+	}
+	m.misses.Inc()
+}
+
+// Coalesce records one request that piggybacked on an in-flight fill.
+func (m *CacheMetrics) Coalesce() {
+	if m == nil {
+		return
+	}
+	m.coalesced.Inc()
+}
+
+// Evict records one LRU eviction.
+func (m *CacheMetrics) Evict() {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
+}
+
+// NotModified records one If-None-Match match answered 304.
+func (m *CacheMetrics) NotModified() {
+	if m == nil {
+		return
+	}
+	m.notModified.Inc()
+}
+
+// Resident reports the current entry count.
+func (m *CacheMetrics) Resident(n int) {
+	if m == nil {
+		return
+	}
+	m.entries.Set(float64(n))
+}
+
+// Snapshot counters for tests (a nil bundle reports zeros).
+
+// Hits returns the hit counter's value.
+func (m *CacheMetrics) Hits() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.hits.Value()
+}
+
+// Misses returns the miss counter's value.
+func (m *CacheMetrics) Misses() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.misses.Value()
+}
+
+// Coalesced returns the singleflight-coalesce counter's value.
+func (m *CacheMetrics) Coalesced() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.coalesced.Value()
+}

@@ -1,0 +1,139 @@
+// Serving benchmarks for the materialized read path. BenchmarkServeHot is
+// the headline number: a warm epoch-keyed cache turns a /skyline request
+// into a map probe and a byte write — zero allocations per request —
+// versus the parse + extract + encode of the uncached path
+// (BenchmarkServeCold). See BENCH_serve.json for the recorded baseline and
+// the README "Serving performance" section for the recipe.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"skycube"
+)
+
+// nopResponseWriter discards the response without allocating, so the
+// benchmark measures the serving path, not the recorder.
+type nopResponseWriter struct {
+	h http.Header
+}
+
+func (w *nopResponseWriter) Header() http.Header         { return w.h }
+func (w *nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nopResponseWriter) WriteHeader(int)             {}
+
+func (w *nopResponseWriter) reset() {
+	for k := range w.h {
+		delete(w.h, k)
+	}
+}
+
+// benchServer builds a serving stack over a synthetic dataset. Metrics and
+// Logger stay nil so the middleware is a passthrough (no statusWriter
+// wrapper allocation) — the production fast path for a bare node.
+func benchServer(b *testing.B, disableCache bool) *Server {
+	b.Helper()
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 4096, 5, 97)
+	cube, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.MDMC, Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewWith(cube, ds, Options{DisableCache: disableCache})
+}
+
+// benchRequest builds one reusable GET request outside the timed loop.
+func benchRequest(b *testing.B, path string) *http.Request {
+	b.Helper()
+	u, err := url.Parse(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &http.Request{Method: http.MethodGet, URL: u, Header: http.Header{}}
+}
+
+// BenchmarkServeHot measures the cache-hit path: every iteration after the
+// first is a map probe plus a pre-encoded byte write. The allocs/op report
+// is part of the acceptance bar (0 on the hit path).
+func BenchmarkServeHot(b *testing.B) {
+	s := benchServer(b, false)
+	req := benchRequest(b, "/skyline?dims=0,2,4")
+	w := &nopResponseWriter{h: http.Header{}}
+	s.ServeHTTP(w, req) // warm the key
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeCold is the same request with caching disabled: parse,
+// cube lookup, JSON encode, every time. The ratio to BenchmarkServeHot is
+// the read path's speedup.
+func BenchmarkServeCold(b *testing.B) {
+	s := benchServer(b, true)
+	req := benchRequest(b, "/skyline?dims=0,2,4")
+	w := &nopResponseWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeHotNotModified measures the revalidation path: a warm key
+// plus If-None-Match answering 304 without touching the body.
+func BenchmarkServeHotNotModified(b *testing.B) {
+	s := benchServer(b, false)
+	req := benchRequest(b, "/skyline?dims=0,2,4")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	req.Header.Set("If-None-Match", rec.Header().Get("Etag"))
+	w := &nopResponseWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeMixed is the maintenance-mode steady state: a writer
+// flushes every 64 reads (rolling the epoch and thereby the cache keys),
+// readers rotate across 8 subspace variants. This prices the epoch-advance
+// invalidation model under churn rather than a pure-hit fantasy.
+func BenchmarkServeMixed(b *testing.B) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 2048, 5, 101)
+	up, err := skycube.NewUpdater(ds, skycube.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer up.Close()
+	s := NewWith(nil, nil, Options{Updater: up})
+
+	variants := make([]*http.Request, 8)
+	for i := range variants {
+		variants[i] = benchRequest(b, fmt.Sprintf("/skyline?dims=%d,%d", i%5, (i+1)%5))
+	}
+	insBody := `{"points": [[500, 500, 500, 500, 500]]}`
+	w := &nopResponseWriter{h: http.Header{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			ins := httptest.NewRequest(http.MethodPost, "/insert", strings.NewReader(insBody))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, ins)
+			fl := httptest.NewRequest(http.MethodPost, "/flush", nil)
+			s.ServeHTTP(httptest.NewRecorder(), fl)
+		}
+		w.reset()
+		s.ServeHTTP(w, variants[i%len(variants)])
+	}
+}

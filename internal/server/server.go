@@ -31,6 +31,21 @@
 //	GET  /updates                 maintenance counters (delta.Stats)
 //
 // Mutation bodies are capped with http.MaxBytesReader (Options.MaxBodyBytes).
+//
+// # Materialized read path
+//
+// /skyline and /membership responses are cached as fully-encoded JSON,
+// keyed on (epoch, request variant) and bounded by an LRU
+// (Options.CacheEntries). Invalidation is epoch-advance only — a flush or
+// compaction publishes a new epoch and thereby new keys — never TTL, so a
+// cached response is provably the bytes the uncached path would produce.
+// Every read response carries a strong ETag derived from (epoch, subspace)
+// and honours If-None-Match with 304 Not Modified. Concurrent cold reads
+// of one key are collapsed to a single computation (singleflight), and a
+// cache hit writes pre-encoded bytes without allocating.
+// Options.DisableCache turns the memoization off (the ETag/304 contract
+// remains); pinned ?epoch=N reads are keyed under their pinned epoch, so
+// they bypass the current-epoch fast path but still memoize exactly.
 package server
 
 import (
@@ -48,6 +63,7 @@ import (
 
 	"skycube"
 	"skycube/internal/obs"
+	"skycube/internal/rcache"
 )
 
 // BuildInfo describes how the served skycube was constructed; it is the
@@ -83,6 +99,17 @@ type Options struct {
 	// MaxBodyBytes caps mutation request bodies via http.MaxBytesReader;
 	// 0 means 1 MiB.
 	MaxBodyBytes int64
+	// CacheEntries bounds the materialized read-path cache (LRU);
+	// 0 means rcache.DefaultEntries.
+	CacheEntries int
+	// DisableCache turns response memoization off entirely. Responses still
+	// carry ETags and honour If-None-Match — only the server-side reuse of
+	// encoded bytes is disabled.
+	DisableCache bool
+	// CacheLayer labels the cache's metrics ("" means "node"); the cluster
+	// shard overrides it so node and shard caches are distinguishable on
+	// one metrics page.
+	CacheLayer string
 }
 
 // DefaultMaxBodyBytes is the mutation body cap when Options.MaxBodyBytes
@@ -95,6 +122,12 @@ type Server struct {
 	ds   *skycube.Dataset
 	mux  *http.ServeMux
 	opt  Options
+
+	// cache is the materialized read path: fully-encoded responses keyed on
+	// (epoch, request variant). nil when Options.DisableCache is set — a
+	// nil rcache.Cache computes every request and stores nothing.
+	cache *rcache.Cache
+	cm    *obs.CacheMetrics
 
 	// notReady (any bit set) makes /healthz report 503: bit 0 is the
 	// caller-controlled SetReady latch, and busy counts in-flight
@@ -132,6 +165,14 @@ func New(cube skycube.Skycube, ds *skycube.Dataset) *Server {
 // NewWith builds a handler with the requested observability surface.
 func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 	s := &Server{cube: cube, ds: ds, mux: http.NewServeMux(), opt: opt}
+	layer := opt.CacheLayer
+	if layer == "" {
+		layer = "node"
+	}
+	s.cm = obs.NewCacheMetrics(opt.Metrics, layer)
+	if !opt.DisableCache {
+		s.cache = rcache.New(opt.CacheEntries, s.cm)
+	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/skyline", s.handleSkyline)
 	s.mux.HandleFunc("/membership", s.handleMembership)
@@ -395,9 +436,47 @@ type skylineResponse struct {
 	Epoch    uint64      `json:"epoch,omitempty"`
 }
 
+// currentEpoch returns the epoch an unpinned read would serve right now:
+// the updater's latest published epoch, or 0 for an immutable static cube.
+func (s *Server) currentEpoch() uint64 {
+	if s.opt.Updater != nil {
+		return s.opt.Updater.Current().Epoch()
+	}
+	return 0
+}
+
+// cacheable reports whether the request may take the current-epoch fast
+// path: GET with no pinned epoch (pinned reads resolve their own key in
+// the slow path, where the epoch parameter has been parsed).
+func cacheable(r *http.Request) bool {
+	return r.Method == http.MethodGet && !strings.Contains(r.URL.RawQuery, "epoch=")
+}
+
+// serveEntry writes a materialized response through rcache.Serve (strong
+// ETag, If-None-Match → 304, pre-encoded bytes).
+func serveEntry(w http.ResponseWriter, r *http.Request, e *rcache.Entry, cm *obs.CacheMetrics) {
+	rcache.Serve(w, r, e, cm)
+}
+
+// encodeEntry marshals v and wraps it with the strong validator for
+// (epoch, tag) — the fill function of every cached read endpoint.
+func encodeEntry(epoch uint64, tag string, v interface{}) (*rcache.Entry, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return rcache.NewEntry(fmt.Sprintf(`"e%d-%s"`, epoch, tag), buf.Bytes()), nil
+}
+
 func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
+	}
+	if s.cache != nil && cacheable(r) {
+		if e, ok := s.cache.Get(rcache.Key{Epoch: s.currentEpoch(), Variant: r.URL.RawQuery}); ok {
+			serveEntry(w, r, e, s.cm)
+			return
+		}
 	}
 	v, ok := s.resolveView(w, r)
 	if !ok {
@@ -430,15 +509,27 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 			skycube.SubspaceSize(delta), v.cube.MaxLevel()), http.StatusUnprocessableEntity)
 		return
 	}
-	ids := v.cube.Skyline(delta)
-	resp := skylineResponse{Dims: dims, Subspace: delta, Count: len(ids), IDs: ids, Epoch: v.epoch}
-	if r.URL.Query().Get("points") == "true" {
-		resp.Points = make([][]float32, len(ids))
-		for i, id := range ids {
-			resp.Points[i] = v.point(s, id)
-		}
+	withPoints := r.URL.Query().Get("points") == "true"
+	// Fill under the view's epoch — the epoch of the body — so the entry,
+	// its ETag, and its payload can never disagree. Concurrent cold readers
+	// of the same key coalesce into one extraction and one encode.
+	e, err := s.cache.Fill(rcache.Key{Epoch: v.epoch, Variant: r.URL.RawQuery},
+		func() (*rcache.Entry, error) {
+			ids := v.cube.Skyline(delta)
+			resp := skylineResponse{Dims: dims, Subspace: delta, Count: len(ids), IDs: ids, Epoch: v.epoch}
+			if withPoints {
+				resp.Points = make([][]float32, len(ids))
+				for i, id := range ids {
+					resp.Points[i] = v.point(s, id)
+				}
+			}
+			return encodeEntry(v.epoch, fmt.Sprintf("s%d", delta), resp)
+		})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	writeJSON(w, resp)
+	serveEntry(w, r, e, s.cm)
 }
 
 // membershipResponse is the /membership payload.
@@ -454,6 +545,12 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
 	}
+	if s.cache != nil && cacheable(r) {
+		if e, ok := s.cache.Get(rcache.Key{Epoch: s.currentEpoch(), Variant: r.URL.RawQuery}); ok {
+			serveEntry(w, r, e, s.cm)
+			return
+		}
+	}
 	v, ok := s.resolveView(w, r)
 	if !ok {
 		return
@@ -465,16 +562,24 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 			http.StatusBadRequest)
 		return
 	}
-	subspaces := v.cube.Membership(int32(id))
-	resp := membershipResponse{ID: int32(id), Subspaces: subspaces, DimLists: make([][]int, len(subspaces)), Epoch: v.epoch}
-	if v.snap != nil {
-		alive := v.snap.Alive(int32(id))
-		resp.Alive = &alive
+	e, err := s.cache.Fill(rcache.Key{Epoch: v.epoch, Variant: r.URL.RawQuery},
+		func() (*rcache.Entry, error) {
+			subspaces := v.cube.Membership(int32(id))
+			resp := membershipResponse{ID: int32(id), Subspaces: subspaces, DimLists: make([][]int, len(subspaces)), Epoch: v.epoch}
+			if v.snap != nil {
+				alive := v.snap.Alive(int32(id))
+				resp.Alive = &alive
+			}
+			for i, delta := range subspaces {
+				resp.DimLists[i] = skycube.SubspaceDims(delta)
+			}
+			return encodeEntry(v.epoch, fmt.Sprintf("m%d", id), resp)
+		})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	for i, delta := range subspaces {
-		resp.DimLists[i] = skycube.SubspaceDims(delta)
-	}
-	writeJSON(w, resp)
+	serveEntry(w, r, e, s.cm)
 }
 
 // insertRequest is the POST /insert body; insertResponse its payload. The
@@ -643,12 +748,18 @@ func (s *Server) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.opt.Updater.Stats())
 }
 
-// writeJSON encodes to a buffer first so an encoding failure can still
-// produce a clean 500: encoding straight to w would have committed a 200
-// and a partial body before the error surfaced.
+// bufPool recycles encode buffers across requests; writeJSON copies the
+// bytes out to the wire before returning its buffer, so pooling is safe.
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// writeJSON encodes to a pooled buffer first so an encoding failure can
+// still produce a clean 500: encoding straight to w would have committed a
+// 200 and a partial body before the error surfaced.
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
