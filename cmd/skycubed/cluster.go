@@ -16,7 +16,8 @@ import (
 // the full single-node endpoint set plus /shard/cuboid and /shard/info,
 // with local rows mapped to global ids via -id-base/-id-stride.
 func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
-	idBase, idStride int, withPprof bool, maxBody int64, cacheEntries int, noCache bool) {
+	idBase, idStride int, withPprof bool, maxBody int64, cacheEntries int, noCache bool,
+	tracing traceOptions) {
 	sh, err := cluster.NewShard(ds, opt, cluster.ShardOptions{
 		IDBase:       idBase,
 		IDStride:     idStride,
@@ -25,6 +26,9 @@ func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 		MaxBodyBytes: maxBody,
 		CacheEntries: cacheEntries,
 		DisableCache: noCache,
+		Requests:     tracing.ring,
+		SampleEvery:  tracing.sampleEvery,
+		SlowQuery:    tracing.slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)
@@ -43,7 +47,8 @@ func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 // given as a flat URL list: with -replicas R, each consecutive run of R
 // URLs is one shard's replica set.
 func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
-	timeout, hedgeDelay time.Duration, withPprof bool, cacheEntries int, noCache bool) {
+	timeout, hedgeDelay time.Duration, withPprof bool, cacheEntries int, noCache bool,
+	tracing traceOptions) {
 	urls := splitNonEmpty(shardList)
 	if len(urls) == 0 {
 		fmt.Fprintln(os.Stderr, "skycubed: -coordinator requires -shards url,url,...")
@@ -70,6 +75,9 @@ func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
 		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
 		CacheEntries: cacheEntries,
 		DisableCache: noCache,
+		Requests:     tracing.ring,
+		SampleEvery:  tracing.sampleEvery,
+		SlowQuery:    tracing.slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)
@@ -84,8 +92,11 @@ func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
 		mountPprofMux(mux)
 		handler = mux
 	}
-	serveAndDrain(addr, handler,
-		"GET /skyline?dims=0,2, /info, /healthz, /metrics; POST /insert, /delete, /flush")
+	endpoints := "GET /skyline?dims=0,2[&explain=1], /info, /healthz, /metrics; POST /insert, /delete, /flush"
+	if tracing.ring != nil {
+		endpoints += "; GET /debug/requests, /trace/query?id=..."
+	}
+	serveAndDrain(addr, handler, endpoints)
 }
 
 func splitNonEmpty(s string) []string {

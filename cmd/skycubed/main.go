@@ -50,8 +50,27 @@ import (
 	"time"
 
 	"skycube"
+	"skycube/internal/obs"
 	"skycube/internal/server"
 )
+
+// traceOptions bundles the serving-mode tracing flags (-trace-sample,
+// -slow-query, -debug-requests) for the run* helpers.
+type traceOptions struct {
+	ring        *obs.RequestRing
+	sampleEvery int
+	slowQuery   time.Duration
+}
+
+// requestRing builds the request ring the tracing flags ask for: nil (no
+// tracing surface) when both are zero; otherwise sized by -debug-requests
+// (obs.DefaultRingSize when only -trace-sample is set).
+func requestRing(sampleEvery, ringSize int) *obs.RequestRing {
+	if sampleEvery <= 0 && ringSize <= 0 {
+		return nil
+	}
+	return obs.NewRequestRing(ringSize)
+}
 
 type queryList []string
 
@@ -94,7 +113,16 @@ func main() {
 	hedgeDelay := flag.Duration("hedge-delay", 0, "with -coordinator: delay before hedging a slow read to a second replica (0 = default 50ms, negative disables)")
 	cacheEntries := flag.Int("cache-entries", 0, "with -serve: LRU bound of the epoch-keyed response cache (0 = default 4096)")
 	noCache := flag.Bool("no-cache", false, "with -serve: disable response caching (the ETag/304 contract remains)")
+	traceSample := flag.Int("trace-sample", 0, "with -serve: trace one in N requests into /debug/requests (0 = only requests carrying a traceparent header)")
+	slowQuery := flag.Duration("slow-query", 0, "with -serve: log one structured line (with trace id) per request at least this slow (0 = off)")
+	debugRequests := flag.Int("debug-requests", 0, "with -serve: request-ring size behind GET /debug/requests (0 = off unless -trace-sample is set, then 256)")
 	flag.Parse()
+
+	tracing := traceOptions{
+		ring:        requestRing(*traceSample, *debugRequests),
+		sampleEvery: *traceSample,
+		slowQuery:   *slowQuery,
+	}
 
 	if *coordinator {
 		if *serve == "" {
@@ -105,7 +133,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skycubed: -coordinator takes no data file")
 			os.Exit(2)
 		}
-		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag, *cacheEntries, *noCache)
+		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag, *cacheEntries, *noCache, tracing)
 		return
 	}
 
@@ -172,7 +200,7 @@ func main() {
 			AutoCompact:     true,
 			CompactFraction: *compactFraction,
 		}
-		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache)
+		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing)
 		return
 	}
 
@@ -194,7 +222,7 @@ func main() {
 		snap := up.Current()
 		fmt.Printf("built maintainable %s skycube of %d×%d (%d stored ids, epoch %d)\n",
 			algo, ds.Len(), ds.Dims(), snap.IDCount(), snap.Epoch())
-		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody, *cacheEntries, *noCache)
+		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing)
 		return
 	}
 
@@ -227,7 +255,7 @@ func main() {
 	}
 
 	if *serve != "" {
-		runServer(*serve, cube, ds, opt, stats, algo, *pprofFlag, *cacheEntries, *noCache)
+		runServer(*serve, cube, ds, opt, stats, algo, *pprofFlag, *cacheEntries, *noCache, tracing)
 		return
 	}
 	if len(queries) == 0 {
@@ -250,7 +278,7 @@ func main() {
 // requests for up to ten seconds before exiting.
 func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 	opt skycube.Options, stats skycube.Stats, algo skycube.Algorithm, withPprof bool,
-	cacheEntries int, noCache bool) {
+	cacheEntries int, noCache bool, tracing traceOptions) {
 	srv := server.NewWith(cube, ds, server.Options{
 		BuildInfo: &server.BuildInfo{
 			Algorithm:       algo.String(),
@@ -266,6 +294,9 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
 		CacheEntries: cacheEntries,
 		DisableCache: noCache,
+		Requests:     tracing.ring,
+		SampleEvery:  tracing.sampleEvery,
+		SlowQuery:    tracing.slowQuery,
 	})
 	mountPprof(srv, withPprof)
 	serveAndDrain(addr, srv,
@@ -275,7 +306,7 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 // runUpdaterServer serves a maintainable skycube: snapshot reads plus the
 // mutation endpoints.
 func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, withPprof bool,
-	maxBody int64, cacheEntries int, noCache bool) {
+	maxBody int64, cacheEntries int, noCache bool, tracing traceOptions) {
 	srv := server.NewWith(nil, nil, server.Options{
 		Updater:      up,
 		MaxBodyBytes: maxBody,
@@ -284,6 +315,9 @@ func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, wit
 		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
 		CacheEntries: cacheEntries,
 		DisableCache: noCache,
+		Requests:     tracing.ring,
+		SampleEvery:  tracing.sampleEvery,
+		SlowQuery:    tracing.slowQuery,
 	})
 	mountPprof(srv, withPprof)
 	serveAndDrain(addr, srv,

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"skycube"
+	"skycube/internal/obs"
 )
 
 // benchNopWriter mirrors the server package's benchmark writer.
@@ -27,8 +28,10 @@ func (w *benchNopWriter) reset() {
 	}
 }
 
-// benchCluster wires a K=2, R=1 cluster over loopback HTTP.
-func benchCluster(b *testing.B, disableCache bool) (*Coordinator, func()) {
+// benchCluster wires a K=2, R=1 cluster over loopback HTTP. traced adds a
+// request ring (SampleEvery 0) to coordinator and shards: tracing compiled
+// in but sampled out, the configuration the 0-alloc bar must survive.
+func benchCluster(b *testing.B, disableCache, traced bool) (*Coordinator, func()) {
 	b.Helper()
 	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 2048, 4, 103)
 	parts, err := ds.Partition(2, skycube.RoundRobinPartition)
@@ -38,7 +41,11 @@ func benchCluster(b *testing.B, disableCache bool) (*Coordinator, func()) {
 	var cleanups []func()
 	var specs []ShardSpec
 	for s, part := range parts {
-		sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{IDBase: s, IDStride: 2})
+		so := ShardOptions{IDBase: s, IDStride: 2}
+		if traced {
+			so.Requests = obs.NewRequestRing(64)
+		}
+		sh, err := NewShard(part, skycube.Options{Threads: 2}, so)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,10 +53,14 @@ func benchCluster(b *testing.B, disableCache bool) (*Coordinator, func()) {
 		cleanups = append(cleanups, srv.Close, sh.Close)
 		specs = append(specs, ShardSpec{Replicas: []string{srv.URL}, IDBase: s, IDStride: 2})
 	}
-	coord, err := NewCoordinator(specs, CoordinatorOptions{
+	copt := CoordinatorOptions{
 		Timeout:      5 * time.Second,
 		DisableCache: disableCache,
-	})
+	}
+	if traced {
+		copt.Requests = obs.NewRequestRing(64)
+	}
+	coord, err := NewCoordinator(specs, copt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -80,7 +91,16 @@ func benchClusterRequest(b *testing.B, coord *Coordinator, disabled bool) {
 // BenchmarkClusterServeHot: a warm coordinator serves the merged bytes
 // with no shard traffic — no fan-out, no hedging, no merge, no encode.
 func BenchmarkClusterServeHot(b *testing.B) {
-	coord, done := benchCluster(b, false)
+	coord, done := benchCluster(b, false, false)
+	defer done()
+	benchClusterRequest(b, coord, false)
+}
+
+// BenchmarkClusterServeHotTraced: the warm memo hit with request rings
+// wired everywhere but the query sampled out (no traceparent header,
+// SampleEvery 0). Must match BenchmarkClusterServeHot's 0 allocs/op.
+func BenchmarkClusterServeHotTraced(b *testing.B) {
+	coord, done := benchCluster(b, false, true)
 	defer done()
 	benchClusterRequest(b, coord, false)
 }
@@ -88,7 +108,7 @@ func BenchmarkClusterServeHot(b *testing.B) {
 // BenchmarkClusterServeCold scatter-gathers and merges on every request
 // (two HTTP round trips per query on loopback).
 func BenchmarkClusterServeCold(b *testing.B) {
-	coord, done := benchCluster(b, true)
+	coord, done := benchCluster(b, true, false)
 	defer done()
 	benchClusterRequest(b, coord, true)
 }

@@ -61,7 +61,12 @@ func newChaosCluster(t *testing.T, ds *skycube.Dataset, copt CoordinatorOptions)
 		var srvs []*httptest.Server
 		var urls []string
 		for rep := 0; rep < r; rep++ {
-			sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{IDBase: s, IDStride: k})
+			// Trace every request through the chaos: under -race this makes
+			// the hedge/retry event recording itself a data-race probe.
+			sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{
+				IDBase: s, IDStride: k,
+				Requests: obs.NewRequestRing(64), SampleEvery: 1,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,6 +83,10 @@ func newChaosCluster(t *testing.T, ds *skycube.Dataset, copt CoordinatorOptions)
 		specs = append(specs, ShardSpec{Replicas: urls, IDBase: s, IDStride: k})
 	}
 	copt.Metrics = cc.reg
+	if copt.Requests == nil {
+		copt.Requests = obs.NewRequestRing(64)
+		copt.SampleEvery = 1
+	}
 	coord, err := NewCoordinator(specs, copt)
 	if err != nil {
 		t.Fatal(err)

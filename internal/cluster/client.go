@@ -121,9 +121,10 @@ func (c *fanoutClient) backoff(n int) time.Duration {
 	return time.Duration(float64(d) * (0.5 + rand.Float64()))
 }
 
-// do runs one HTTP attempt under the per-request timeout. Non-2xx statuses
-// are errors carrying a body snippet.
-func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte) ([]byte, error) {
+// do runs one HTTP attempt under the per-request timeout, propagating the
+// trace context when the request is traced. Non-2xx statuses are errors
+// carrying a body snippet.
+func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, traceparent string) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -136,6 +137,9 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte) 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -164,9 +168,16 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte) 
 // and backoff retries on failure until maxAttempts is exhausted or no
 // breaker admits another try. The attempt that loses the race is cancelled
 // via context.
+//
+// When the request is traced (ctx carries a ReqRecord) every attempt sends
+// the traceparent header — so the shard's hop record joins the trace — and
+// the record receives one event per attempt, hedge, retry and breaker
+// rejection. Untraced requests pay a context lookup and nil tests.
 func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]byte, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	rec := obs.RecordFrom(ctx)
+	tp := rec.Traceparent()
 
 	type attemptResult struct {
 		body  []byte
@@ -187,10 +198,15 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 			rep = g.pick(used)
 		}
 		if rep == nil {
+			if rec != nil {
+				rec.Event(obs.Event{Kind: obs.EvBreakerReject, Shard: g.name,
+					Hedge: hedge, Start: rec.Since()})
+			}
 			return false
 		}
 		go func() {
-			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil)
+			began := rec.Since()
+			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil, tp)
 			switch {
 			case err == nil, isCallerError(err):
 				// A 4xx means the replica is up and answering; only the
@@ -204,6 +220,14 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 				rep.brk.AbortProbe()
 			default:
 				rep.brk.Failure()
+			}
+			if rec != nil {
+				ev := obs.Event{Kind: obs.EvAttempt, Shard: g.name, Replica: rep.url,
+					Hedge: hedge, Start: began, Dur: rec.Since() - began}
+				if err != nil {
+					ev.Err = err.Error()
+				}
+				rec.Event(ev)
 			}
 			results <- attemptResult{body, err, hedge}
 		}()
@@ -234,6 +258,9 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 			if launch(true) {
 				hedged = true
 				inflight++
+				if rec != nil {
+					rec.Event(obs.Event{Kind: obs.EvHedge, Shard: g.name, Start: rec.Since()})
+				}
 			}
 		case <-retryTimer:
 			retryTimer = nil
@@ -241,6 +268,10 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 				c.metrics.Retry(g.name)
 				inflight++
 				attempts++
+				if rec != nil {
+					rec.Event(obs.Event{Kind: obs.EvRetry, Shard: g.name, Start: rec.Since(),
+						N: int64(attempts)})
+				}
 			} else if inflight == 0 {
 				return nil, lastErr
 			}
@@ -279,13 +310,24 @@ func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, bod
 		body []byte
 		err  error
 	}
+	rec := obs.RecordFrom(ctx)
+	tp := rec.Traceparent()
 	ch := make(chan repResult, len(g.replicas))
 	for i, rep := range g.replicas {
 		go func(i int, rep *replica) {
 			var b []byte
 			var err error
 			for n := 1; ; n++ {
-				b, err = c.do(ctx, http.MethodPost, rep.url+path, body)
+				began := rec.Since()
+				b, err = c.do(ctx, http.MethodPost, rep.url+path, body, tp)
+				if rec != nil {
+					ev := obs.Event{Kind: obs.EvAttempt, Shard: g.name, Replica: rep.url,
+						Start: began, Dur: rec.Since() - began}
+					if err != nil {
+						ev.Err = err.Error()
+					}
+					rec.Event(ev)
+				}
 				if err == nil || isCallerError(err) {
 					// A 4xx is the caller's fault: the replica answered, so
 					// it is healthy for the breaker's purposes, and a retry

@@ -45,6 +45,13 @@ func (tc *testCluster) close() {
 // every replica over loopback HTTP, and builds a coordinator on top.
 func newTestCluster(t *testing.T, ds *skycube.Dataset, k, r int, mode skycube.PartitionMode, copt CoordinatorOptions) *testCluster {
 	t.Helper()
+	return newTestClusterOpts(t, ds, k, r, mode, copt, nil)
+}
+
+// newTestClusterOpts is newTestCluster with a per-shard options hook (used
+// by the trace tests to give every shard its own request ring).
+func newTestClusterOpts(t *testing.T, ds *skycube.Dataset, k, r int, mode skycube.PartitionMode, copt CoordinatorOptions, shardOpt func(shard, replica int, so *ShardOptions)) *testCluster {
+	t.Helper()
 	parts, err := ds.Partition(k, mode)
 	if err != nil {
 		t.Fatalf("Partition: %v", err)
@@ -60,7 +67,11 @@ func newTestCluster(t *testing.T, ds *skycube.Dataset, k, r int, mode skycube.Pa
 		var srvs []*httptest.Server
 		var urls []string
 		for rep := 0; rep < r; rep++ {
-			sh, err := NewShard(part, skycube.Options{Threads: 2}, ShardOptions{IDBase: base, IDStride: stride})
+			so := ShardOptions{IDBase: base, IDStride: stride}
+			if shardOpt != nil {
+				shardOpt(s, rep, &so)
+			}
+			sh, err := NewShard(part, skycube.Options{Threads: 2}, so)
 			if err != nil {
 				t.Fatalf("NewShard(%d/%d): %v", s, rep, err)
 			}

@@ -76,6 +76,21 @@ type CoordinatorOptions struct {
 	Logger *log.Logger
 	// Client overrides the HTTP client (tests inject one).
 	Client *http.Client
+	// Requests, if non-nil, enables distributed request tracing: sampled
+	// queries mint a trace id, propagate it (as a traceparent header) over
+	// every replica attempt, record typed span events into this ring, and
+	// two endpoints are mounted — GET /debug/requests (the ring as JSON,
+	// in-flight queries included) and GET /trace/query?id=<trace> (the
+	// cross-process Chrome trace assembled from this ring plus every
+	// contacted shard's ring). Sampled-out queries keep the warm-cache
+	// fast path allocation-free.
+	Requests *obs.RequestRing
+	// SampleEvery admits one in N queries into tracing (0 = trace only
+	// requests arriving with a traceparent header or ?explain=1).
+	SampleEvery int
+	// SlowQuery, when > 0, logs one structured line (with the trace id when
+	// sampled) for every /skyline query at least this slow.
+	SlowQuery time.Duration
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -140,6 +155,10 @@ type Coordinator struct {
 	// generation-keyed reuse exact for single-writer topologies.
 	writeGen atomic.Uint64
 
+	// sampler admits queries into the request ring; nil (never sampling)
+	// unless SampleEvery is positive.
+	sampler *obs.Sampler
+
 	mu   sync.Mutex
 	dims int // learned from /shard/info; 0 until known
 }
@@ -192,6 +211,7 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 	if !opt.DisableCache {
 		c.cache = rcache.New(opt.CacheEntries, c.cacheCM)
 	}
+	c.sampler = obs.NewSampler(opt.SampleEvery)
 	c.ring = newRing(labels)
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/skyline", c.handleSkyline)
@@ -202,6 +222,10 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 	c.mux.HandleFunc("/flush", c.handleFlush)
 	if opt.Metrics != nil {
 		c.mux.HandleFunc("/metrics", c.handleMetrics)
+	}
+	if opt.Requests != nil {
+		c.mux.Handle("/debug/requests", opt.Requests.Handler())
+		c.mux.HandleFunc("/trace/query", c.handleTraceQuery)
 	}
 	return c, nil
 }
@@ -316,15 +340,21 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *merg
 	if c.opt.Extended {
 		path += "&extended=true"
 	}
+	rec := obs.RecordFrom(ctx)
 	ch := make(chan gatherResult, len(c.shards))
 	for _, g := range c.shards {
 		go func(g *shardGroup) {
+			began := rec.Since()
 			start := time.Now()
 			body, err := c.client.get(ctx, g, path)
 			c.cm.Fanout(g.name, time.Since(start), err == nil)
 			if err != nil {
 				if c.opt.Logger != nil {
 					c.opt.Logger.Printf("cluster: shard %s: %v", g.name, err)
+				}
+				if rec != nil {
+					rec.Event(obs.Event{Kind: obs.EvShardResult, Shard: g.name,
+						Start: began, Dur: rec.Since() - began, Err: err.Error()})
 				}
 				ch <- gatherResult{shard: g.name, err: err}
 				return
@@ -333,6 +363,11 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *merg
 			if err := json.Unmarshal(body, &resp); err != nil {
 				ch <- gatherResult{shard: g.name, err: err}
 				return
+			}
+			if rec != nil {
+				rec.Event(obs.Event{Kind: obs.EvShardResult, Shard: g.name,
+					Start: began, Dur: rec.Since() - began,
+					N: int64(len(resp.IDs)), Bytes: int64(len(body)), Epoch: resp.Epoch})
 			}
 			ch <- gatherResult{shard: g.name, resp: &resp}
 		}(g)
@@ -430,27 +465,64 @@ func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
+	// Tracing decision up front. The common untraced request pays a raw-query
+	// Contains, a header lookup and a nil-sampler test — no parsing, no
+	// allocation — so the warm-cache fast path below stays allocation-free.
+	// ?explain=1 forces a record: the explain response is built from it.
+	explain := strings.Contains(r.URL.RawQuery, "explain=") &&
+		r.URL.Query().Get("explain") == "1"
+	var rec *obs.ReqRecord
+	if c.opt.Requests != nil || explain {
+		if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+			if trace, _, ok := obs.ParseTraceparent(tp); ok {
+				rec = obs.NewRecord("coordinator", trace, r.Method, r.URL.Path, r.URL.RawQuery)
+			}
+		}
+		if rec == nil && (explain || c.sampler.Sample()) {
+			rec = obs.NewRecord("coordinator", obs.NewTraceID(), r.Method, r.URL.Path, r.URL.RawQuery)
+		}
+		if rec != nil {
+			c.opt.Requests.Add(rec)
+			r = r.WithContext(obs.WithRecord(r.Context(), rec))
+		}
+	}
+	status := c.serveSkyline(w, r, rec, explain, start)
+	rec.Finish(status)
+	if dur := time.Since(start); c.opt.SlowQuery > 0 && dur >= c.opt.SlowQuery {
+		c.logSlow(r, status, dur, rec.TraceID())
+	}
+}
+
+// serveSkyline answers one /skyline query and returns the HTTP status it
+// wrote (for the trace record and the slow-query log).
+func (c *Coordinator) serveSkyline(w http.ResponseWriter, r *http.Request, rec *obs.ReqRecord, explain bool, start time.Time) int {
 	// Fast path: a query already answered at this write generation cannot
 	// have changed (shard epochs advance only through routed writes), so
 	// serve the memoized bytes with no fan-out — no hedges, no retries, no
-	// breaker traffic, no merge.
-	if c.cache != nil {
+	// breaker traffic, no merge. Explain always bypasses it: its purpose is
+	// to observe the real fan-out.
+	if c.cache != nil && !explain {
 		if e, ok := c.cache.Get(rcache.Key{Epoch: c.writeGen.Load(), Variant: genKeyPrefix + r.URL.RawQuery}); ok {
+			rec.Event(obs.Event{Kind: obs.EvCache, Detail: "hit-generation", Start: rec.Since()})
 			rcache.Serve(w, r, e, c.cacheCM)
-			c.cm.Query(time.Since(start), false)
-			return
+			c.cm.QueryTraced(time.Since(start), false, rec.TraceID())
+			return http.StatusOK
 		}
 	}
 	d, err := c.dimsOrRefresh(r.Context())
 	if err != nil {
 		http.Error(w, fmt.Sprintf("cluster not ready: %v", err), http.StatusServiceUnavailable)
-		return
+		return http.StatusServiceUnavailable
 	}
 	dims, delta, errMsg := parseDims(r.URL.Query().Get("dims"), d)
 	if errMsg != "" {
 		http.Error(w, errMsg, http.StatusBadRequest)
-		return
+		return http.StatusBadRequest
 	}
+	if explain {
+		return c.serveExplain(w, r, rec, dims, delta, start)
+	}
+	rec.Event(obs.Event{Kind: obs.EvCache, Detail: "miss", Start: rec.Since()})
 	// Read the generation before gathering: a write landing mid-gather
 	// bumps it when it completes, so whatever mix of old and new shard
 	// state this query observed is stored under an already-dead key.
@@ -468,17 +540,34 @@ func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusPartialContent)
 			_, _ = w.Write(pe.body)
-			c.cm.Query(time.Since(start), true)
+			c.cm.QueryTraced(time.Since(start), true, rec.TraceID())
+			return http.StatusPartialContent
 		case errors.As(err, &ge):
 			http.Error(w, ge.msg, http.StatusBadGateway)
-			c.cm.Query(time.Since(start), false)
+			c.cm.QueryTraced(time.Since(start), false, rec.TraceID())
+			return http.StatusBadGateway
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return http.StatusInternalServerError
 		}
-		return
 	}
 	rcache.Serve(w, r, entry, c.cacheCM)
-	c.cm.Query(time.Since(start), false)
+	c.cm.QueryTraced(time.Since(start), false, rec.TraceID())
+	return http.StatusOK
+}
+
+// logSlow emits the coordinator's slow-query log line.
+func (c *Coordinator) logSlow(r *http.Request, status int, dur time.Duration, traceID string) {
+	if traceID == "" {
+		traceID = "-"
+	}
+	line := fmt.Sprintf("slow-query method=%s path=%s query=%q status=%d dur=%s threshold=%s trace=%s",
+		r.Method, r.URL.Path, r.URL.RawQuery, status, dur, c.opt.SlowQuery, traceID)
+	if c.opt.Logger != nil {
+		c.opt.Logger.Print(line)
+		return
+	}
+	log.Print(line)
 }
 
 // computeSkyline runs one scatter-gather-merge and returns the encoded
@@ -486,6 +575,7 @@ func (c *Coordinator) handleSkyline(w http.ResponseWriter, r *http.Request) {
 // Runs under the cache's singleflight gate, so concurrent identical cold
 // queries share one fan-out.
 func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims []int, delta mask.Mask) (*rcache.Entry, error) {
+	rec := obs.RecordFrom(ctx)
 	scratch := mergePool.Get().(*mergeScratch)
 	defer scratch.release()
 	cands, epochs, failed := c.gather(ctx, delta, scratch)
@@ -498,11 +588,15 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 		// any write generation — reuse it and skip the merge and encode.
 		evKey := rcache.Key{Epoch: c.epochVectorHash(epochs), Variant: epochKeyPrefix + rawQuery}
 		if e, ok := c.cache.Get(evKey); ok {
+			rec.Event(obs.Event{Kind: obs.EvCache, Detail: "hit-epoch-vector", Start: rec.Since()})
 			return e, nil
 		}
+		mergeStart := rec.Since()
 		ids := mergeSkyline(cands, delta, scratch.ids)
 		scratch.ids = ids
 		c.cm.Merge(len(cands), len(ids))
+		rec.Event(obs.Event{Kind: obs.EvMerge, Start: mergeStart,
+			Dur: rec.Since() - mergeStart, N: int64(len(ids))})
 		resp := skylineResponse{
 			Dims:       dims,
 			Subspace:   uint32(delta),
@@ -511,17 +605,23 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 			Candidates: len(cands),
 			Epochs:     epochs,
 		}
+		encStart := rec.Since()
 		var buf bytes.Buffer
 		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
 			return nil, err
 		}
+		rec.Event(obs.Event{Kind: obs.EvEncode, Start: encStart,
+			Dur: rec.Since() - encStart, Bytes: int64(buf.Len())})
 		e := rcache.NewEntry(fmt.Sprintf(`"v%x-s%d"`, evKey.Epoch, uint32(delta)), buf.Bytes())
 		c.cache.Put(evKey, e)
 		return e, nil
 	}
+	mergeStart := rec.Since()
 	ids := mergeSkyline(cands, delta, scratch.ids)
 	scratch.ids = ids
 	c.cm.Merge(len(cands), len(ids))
+	rec.Event(obs.Event{Kind: obs.EvMerge, Start: mergeStart,
+		Dur: rec.Since() - mergeStart, N: int64(len(ids))})
 	resp := skylineResponse{
 		Dims:         dims,
 		Subspace:     uint32(delta),
@@ -532,10 +632,13 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 		FailedShards: failed,
 		Epochs:       epochs,
 	}
+	encStart := rec.Since()
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
 		return nil, err
 	}
+	rec.Event(obs.Event{Kind: obs.EvEncode, Start: encStart,
+		Dur: rec.Since() - encStart, Bytes: int64(buf.Len())})
 	return nil, &partialError{body: buf.Bytes()}
 }
 
@@ -645,6 +748,12 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Exemplars use OpenMetrics syntax that classic text-format parsers
+	// reject, so they are opt-in per scrape.
+	if r.URL.Query().Get("exemplars") == "1" {
+		_ = c.opt.Metrics.WritePrometheusExemplars(w)
+		return
+	}
 	_ = c.opt.Metrics.WritePrometheus(w)
 }
 

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"skycube"
 	"skycube/internal/data"
@@ -60,6 +61,18 @@ type ShardOptions struct {
 	// DisableCache turns response memoization off on both surfaces
 	// (the ETag/304 contract remains).
 	DisableCache bool
+	// Requests, if non-nil, enables distributed request tracing on the
+	// shard: requests carrying a coordinator-propagated traceparent header
+	// (and one in SampleEvery locally-initiated ones) are recorded into the
+	// ring, inspectable via GET /debug/requests and harvested by the
+	// coordinator's /trace/query assembly.
+	Requests *obs.RequestRing
+	// SampleEvery admits one in N locally-initiated requests into tracing
+	// (0 = trace only coordinator-propagated requests).
+	SampleEvery int
+	// SlowQuery, when > 0, logs one structured line per request at least
+	// this slow.
+	SlowQuery time.Duration
 }
 
 // Shard is a shard node: a maintainable skycube over one horizontal
@@ -122,6 +135,10 @@ func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Sha
 		MaxBodyBytes: sopt.MaxBodyBytes,
 		CacheEntries: sopt.CacheEntries,
 		DisableCache: sopt.DisableCache,
+		Requests:     sopt.Requests,
+		SampleEvery:  sopt.SampleEvery,
+		SlowQuery:    sopt.SlowQuery,
+		TraceKind:    "shard",
 	})
 	sh.srv.Handle("/shard/cuboid", http.HandlerFunc(sh.handleCuboid))
 	sh.srv.Handle("/shard/info", http.HandlerFunc(sh.handleInfo))
@@ -164,12 +181,15 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed (use GET)", http.StatusMethodNotAllowed)
 		return
 	}
+	rec := obs.RecordFrom(r.Context())
 	if s.cache != nil {
 		if e, ok := s.cache.Get(rcache.Key{Epoch: s.up.Current().Epoch(), Variant: r.URL.RawQuery}); ok {
+			rec.Event(obs.Event{Kind: obs.EvCache, Detail: "hit", Start: rec.Since()})
 			rcache.Serve(w, r, e, s.cm)
 			return
 		}
 	}
+	rec.Event(obs.Event{Kind: obs.EvCache, Detail: "miss", Start: rec.Since()})
 	spec := r.URL.Query().Get("subspace")
 	v, err := strconv.ParseUint(spec, 10, 32)
 	if err != nil || v == 0 || v >= 1<<uint(s.dims) {
@@ -187,12 +207,15 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 	snap := s.up.Current()
 	e, err2 := s.cache.Fill(rcache.Key{Epoch: snap.Epoch(), Variant: r.URL.RawQuery},
 		func() (*rcache.Entry, error) {
+			extractStart := rec.Since()
 			var local []int32
 			if extended {
 				local = s.extendedSkyline(snap, delta)
 			} else {
 				local = snap.Skyline(delta)
 			}
+			rec.Event(obs.Event{Kind: obs.EvCuboid, Start: extractStart,
+				Dur: rec.Since() - extractStart, N: int64(len(local)), Epoch: snap.Epoch()})
 			resp := cuboidResponse{
 				Subspace: uint32(delta),
 				Epoch:    snap.Epoch(),

@@ -30,33 +30,48 @@ type chromeFile struct {
 // ("X") events with microsecond timestamps relative to the trace epoch.
 // A nil trace writes an empty (but valid) trace file.
 func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return WriteChromeSpans(w, nil)
+	}
+	return WriteChromeSpans(w, t.Spans())
+}
+
+// WriteChromeSpans serialises an explicit span list in Chrome trace_event
+// JSON — the same rendering WriteChrome gives a build trace, but usable for
+// spans assembled from elsewhere, such as the distributed request records
+// stitched across coordinator and shard hops. Tracks become threads in
+// order of first appearance; an empty or nil list writes a valid empty
+// trace file.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
 	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
-	if t != nil {
-		tid := map[string]int{}
-		for i, track := range t.Tracks() {
-			tid[track] = i + 1
-			file.TraceEvents = append(file.TraceEvents,
-				chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
-					Args: map[string]any{"name": track}},
-				chromeEvent{Name: "thread_sort_index", Ph: "M", PID: 1, TID: i + 1,
-					Args: map[string]any{"sort_index": i}},
-			)
+	tid := map[string]int{}
+	for _, s := range spans {
+		if _, ok := tid[s.Track]; ok {
+			continue
 		}
-		for _, s := range t.Spans() {
-			ev := chromeEvent{
-				Name: s.Name,
-				Cat:  s.Cat,
-				Ph:   "X",
-				TS:   float64(s.Start.Nanoseconds()) / 1e3,
-				Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
-				PID:  1,
-				TID:  tid[s.Track],
-			}
-			if s.N != 0 {
-				ev.Args = map[string]any{"n": s.N}
-			}
-			file.TraceEvents = append(file.TraceEvents, ev)
+		i := len(tid)
+		tid[s.Track] = i + 1
+		file.TraceEvents = append(file.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+				Args: map[string]any{"name": s.Track}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", PID: 1, TID: i + 1,
+				Args: map[string]any{"sort_index": i}},
+		)
+	}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  tid[s.Track],
 		}
+		if s.N != 0 {
+			ev.Args = map[string]any{"n": s.N}
+		}
+		file.TraceEvents = append(file.TraceEvents, ev)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(file)

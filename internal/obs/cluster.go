@@ -97,6 +97,13 @@ func (m *ClusterMetrics) Merge(candidates, kept int) {
 // Query records one coordinator query end-to-end: total latency and whether
 // the response was complete or explicitly partial (a whole shard down).
 func (m *ClusterMetrics) Query(dur time.Duration, partial bool) {
+	m.QueryTraced(dur, partial, "")
+}
+
+// QueryTraced is Query with the sampled query's trace id attached as the
+// latency bucket's exemplar, so a p99 bucket on the metrics page names a
+// concrete trace inspectable via /debug/requests and /trace/query.
+func (m *ClusterMetrics) QueryTraced(dur time.Duration, partial bool, traceID string) {
 	if m == nil {
 		return
 	}
@@ -104,7 +111,7 @@ func (m *ClusterMetrics) Query(dur time.Duration, partial bool) {
 		"Scatter-gather skyline queries served by the coordinator.").Inc()
 	m.reg.HistogramM("skycube_cluster_query_seconds",
 		"End-to-end coordinator query latency (scatter, gather, merge).", nil).
-		Observe(dur.Seconds())
+		ObserveExemplar(dur.Seconds(), traceID)
 	if partial {
 		m.reg.CounterM("skycube_cluster_partial_responses_total",
 			"Queries answered with an explicit partial result (a shard had no live replica).").Inc()

@@ -125,28 +125,76 @@ func (g *Gauge) Add(v float64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// Histogram counts observations into fixed cumulative buckets.
+// Histogram counts observations into fixed cumulative buckets. Each bucket
+// additionally retains the most recent exemplar observed into it — a
+// (value, trace id) pair — so a suspicious latency bucket points at a
+// concrete inspectable trace instead of an anonymous count.
 type Histogram struct {
 	upper  []float64 // ascending upper bounds (excluding +Inf)
 	counts []atomic.Int64
-	count  atomic.Int64
-	sum    Gauge
+	// ex holds one exemplar per bucket plus one for the +Inf overflow.
+	ex    []atomic.Pointer[exemplar]
+	count atomic.Int64
+	sum   Gauge
+}
+
+// exemplar is one concrete observation attached to a bucket: the observed
+// value and the trace id of the request that produced it.
+type exemplar struct {
+	value   float64
+	traceID string
 }
 
 func newHistogram(buckets []float64) *Histogram {
-	return &Histogram{upper: buckets, counts: make([]atomic.Int64, len(buckets))}
+	return &Histogram{
+		upper:  buckets,
+		counts: make([]atomic.Int64, len(buckets)),
+		ex:     make([]atomic.Pointer[exemplar], len(buckets)+1),
+	}
+}
+
+// bucketOf returns the index of the bucket v falls into (len(upper) for the
+// +Inf overflow).
+func (h *Histogram) bucketOf(v float64) int {
+	for i, b := range h.upper {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.upper)
 }
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
-	for i, b := range h.upper {
-		if v <= b {
-			h.counts[i].Add(1)
-			break
-		}
+	if i := h.bucketOf(v); i < len(h.counts) {
+		h.counts[i].Add(1)
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one observation and attaches the producing
+// request's trace id as the bucket's exemplar. An empty trace id degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		h.ex[h.bucketOf(v)].Store(&exemplar{value: v, traceID: traceID})
+	}
+	h.Observe(v)
+}
+
+// Exemplar returns the trace id and value attached to the bucket with the
+// given index (len(upper) addresses the +Inf bucket); ok reports whether
+// one has been recorded.
+func (h *Histogram) Exemplar(bucket int) (traceID string, value float64, ok bool) {
+	if bucket < 0 || bucket >= len(h.ex) {
+		return "", 0, false
+	}
+	e := h.ex[bucket].Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.traceID, e.value, true
 }
 
 // Count returns the total number of observations.
@@ -155,9 +203,14 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
-// DefBuckets are latency buckets in seconds, spanning 100 µs to ~100 s —
-// wide enough for both a skyline lookup and a full skycube build.
+// DefBuckets are latency buckets in seconds, spanning 1 µs to ~100 s —
+// wide enough for both a skyline lookup and a full skycube build. The
+// sub-100 µs bounds (1/10/50 µs) exist for the materialized read path:
+// warm-cache reads complete in hundreds of nanoseconds to tens of
+// microseconds, and without them every cache win collapsed
+// indistinguishably into the first bucket.
 var DefBuckets = []float64{
+	1e-06, 1e-05, 5e-05,
 	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1,
 	.25, .5, 1, 2.5, 5, 10, 25, 50, 100,
 }
@@ -189,6 +242,19 @@ func (r *Registry) HistogramM(name, help string, buckets []float64, labels ...st
 // WritePrometheus serialises every family in the text exposition format,
 // families sorted by name, series in registration order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.write(w, false)
+}
+
+// WritePrometheusExemplars serialises like WritePrometheus but appends
+// OpenMetrics-style exemplars ("# {trace_id=...} value") to histogram
+// bucket lines that have one. Classic Prometheus text-format scrapers do
+// not understand the suffix, so it is opt-in (/metrics?exemplars=1) rather
+// than the default exposition.
+func (r *Registry) WritePrometheusExemplars(w io.Writer) error {
+	return r.write(w, true)
+}
+
+func (r *Registry) write(w io.Writer, exemplars bool) error {
 	if r == nil {
 		return nil
 	}
@@ -221,7 +287,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		f.mu.Unlock()
 		for _, key := range order {
-			if err := writeSeries(w, f, key, series[key]); err != nil {
+			if err := writeSeries(w, f, key, series[key], exemplars); err != nil {
 				return err
 			}
 		}
@@ -229,7 +295,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeSeries(w io.Writer, f *family, key string, s any) error {
+func writeSeries(w io.Writer, f *family, key string, s any, exemplars bool) error {
 	switch m := s.(type) {
 	case *Counter:
 		_, err := fmt.Fprintf(w, "%s%s %v\n", f.name, key, m.Value())
@@ -243,13 +309,15 @@ func writeSeries(w io.Writer, f *family, key string, s any) error {
 		var cum int64
 		for i, ub := range m.upper {
 			cum += m.counts[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, mergeLabel(key, "le", formatBound(ub)), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				f.name, mergeLabel(key, "le", formatBound(ub)), cum,
+				exemplarSuffix(m, i, exemplars)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-			f.name, mergeLabel(key, "le", "+Inf"), m.Count()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+			f.name, mergeLabel(key, "le", "+Inf"), m.Count(),
+			exemplarSuffix(m, len(m.upper), exemplars)); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n", f.name, key, m.Sum()); err != nil {
@@ -259,6 +327,19 @@ func writeSeries(w io.Writer, f *family, key string, s any) error {
 		return err
 	}
 	return nil
+}
+
+// exemplarSuffix renders a bucket's exemplar in OpenMetrics syntax, "" when
+// exemplars are off or the bucket has none.
+func exemplarSuffix(m *Histogram, bucket int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	trace, value, ok := m.Exemplar(bucket)
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s"} %g`, trace, value)
 }
 
 // formatBound renders a bucket bound the way Prometheus clients do: the

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusConformance checks the text exposition against the
+// format's structural rules: HELP/TYPE precede samples, histogram buckets
+// are cumulative and ascending in le, the +Inf bucket exists and equals
+// _count, _sum and _count are present, and label values are escaped.
+func TestWritePrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.CounterM("conf_requests_total", "Requests.", "path", "/skyline", "code", "200").Add(3)
+	r.GaugeM("conf_temp", "Temperature.").Set(-1.5)
+	h := r.HistogramM("conf_latency_seconds", "Latency.", []float64{0.1, 0.5, 2}, "path", "/x")
+	for _, v := range []float64{0.05, 0.3, 0.3, 1.9, 10} {
+		h.Observe(v)
+	}
+	// Label values needing escaping: backslash, quote, newline.
+	r.CounterM("conf_escaped_total", "Escaping.", "k", `a\b"c`+"\nd").Inc()
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// No OpenMetrics exemplar syntax in the default exposition.
+	if strings.Contains(out, "} # {") || strings.Contains(out, "# {trace_id") {
+		t.Errorf("default exposition leaked exemplar syntax:\n%s", out)
+	}
+
+	typeSeen := map[string]string{}
+	samplesSeen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typeSeen[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		// Sample line: name{...} value — its family's TYPE must already
+		// have been written.
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typeSeen[family]; !ok {
+			t.Errorf("sample %q precedes its TYPE line", line)
+		}
+		samplesSeen[name] = true
+		// The value must parse as a float.
+		fields := strings.Fields(line)
+		if _, err := strconv.ParseFloat(fields[len(fields)-1], 64); err != nil {
+			t.Errorf("sample value does not parse in %q: %v", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"conf_requests_total", "conf_temp",
+		"conf_latency_seconds_bucket", "conf_latency_seconds_sum", "conf_latency_seconds_count",
+		"conf_escaped_total",
+	} {
+		if !samplesSeen[want] {
+			t.Errorf("missing samples for %s\n%s", want, out)
+		}
+	}
+
+	// Histogram structure: cumulative counts, ascending le, +Inf == _count.
+	var bounds []string
+	var counts []int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "conf_latency_seconds_bucket") {
+			continue
+		}
+		i := strings.Index(line, `le="`)
+		if i < 0 {
+			t.Fatalf("bucket line without le label: %q", line)
+		}
+		rest := line[i+4:]
+		j := strings.Index(rest, `"`)
+		bounds = append(bounds, rest[:j])
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count in %q: %v", line, err)
+		}
+		counts = append(counts, n)
+	}
+	wantBounds := []string{"0.1", "0.5", "2", "+Inf"}
+	if fmt.Sprint(bounds) != fmt.Sprint(wantBounds) {
+		t.Fatalf("bucket bounds %v, want %v", bounds, wantBounds)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("buckets not cumulative: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] != 5 {
+		t.Fatalf("+Inf bucket = %d, want 5 (every observation)", counts[len(counts)-1])
+	}
+	if !strings.Contains(out, "conf_latency_seconds_count{path=\"/x\"} 5") {
+		t.Errorf("_count sample missing or wrong:\n%s", out)
+	}
+
+	// Escaping: backslash, quote and newline must be escaped in the label
+	// value, and no raw newline may split the sample line.
+	if !strings.Contains(out, `k="a\\b\"c\nd"`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramM("ex_latency_seconds", "Latency.", []float64{0.1, 1}, "path", "/skyline")
+	h.ObserveExemplar(0.05, "aabbccdd00112233aabbccdd00112233")
+	h.ObserveExemplar(0.5, "ffeeddcc00112233ffeeddcc00112233")
+	h.ObserveExemplar(30, "0123456789abcdef0123456789abcdef") // +Inf bucket
+	h.ObserveExemplar(0.06, "")                               // empty id: plain Observe
+
+	if trace, v, ok := h.Exemplar(0); !ok || trace != "aabbccdd00112233aabbccdd00112233" || v != 0.05 {
+		t.Fatalf("bucket 0 exemplar = %q %v %v", trace, v, ok)
+	}
+	if trace, _, ok := h.Exemplar(2); !ok || trace != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("+Inf exemplar = %q %v", trace, ok)
+	}
+	if _, _, ok := h.Exemplar(99); ok {
+		t.Fatal("out-of-range bucket returned an exemplar")
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+
+	// Default exposition: clean. Exemplar exposition: OpenMetrics suffix.
+	var plain, withEx strings.Builder
+	if err := r.WritePrometheus(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "trace_id") {
+		t.Errorf("WritePrometheus leaked exemplars:\n%s", plain.String())
+	}
+	if err := r.WritePrometheusExemplars(&withEx); err != nil {
+		t.Fatal(err)
+	}
+	want := ` # {trace_id="aabbccdd00112233aabbccdd00112233"} 0.05`
+	if !strings.Contains(withEx.String(), want) {
+		t.Errorf("exemplar suffix %q missing from:\n%s", want, withEx.String())
+	}
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRequestRingNewestFirstAndOverwrite(t *testing.T) {
+	ring := NewRequestRing(4)
+	var recs []*ReqRecord
+	for i := 0; i < 6; i++ {
+		rec := NewRecord("node", NewTraceID(), "GET", "/skyline", "dims=0")
+		rec.Finish(200)
+		ring.Add(rec)
+		recs = append(recs, rec)
+	}
+	snaps := ring.Snapshot("", 0)
+	if len(snaps) != 4 {
+		t.Fatalf("ring of 4 holds %d records", len(snaps))
+	}
+	// Newest first: records 5,4,3,2; 0 and 1 overwritten.
+	for i, want := range []*ReqRecord{recs[5], recs[4], recs[3], recs[2]} {
+		if snaps[i].TraceID != want.TraceID() {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, snaps[i].TraceID, want.TraceID())
+		}
+	}
+	if got := ring.Find(recs[5].TraceID()); got != recs[5] {
+		t.Fatal("Find missed a resident record")
+	}
+	if got := ring.Find(recs[0].TraceID()); got != nil {
+		t.Fatal("Find returned an overwritten record")
+	}
+}
+
+func TestRequestRingInFlightVisible(t *testing.T) {
+	ring := NewRequestRing(8)
+	rec := NewRecord("coordinator", NewTraceID(), "GET", "/skyline", "dims=0,1")
+	ring.Add(rec) // published before the request finishes
+	rec.Event(Event{Kind: EvAttempt, Shard: "0", Replica: "http://a", Start: rec.Since()})
+	snaps := ring.Snapshot(rec.TraceID(), 0)
+	if len(snaps) != 1 {
+		t.Fatalf("got %d records, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if !s.InFlight {
+		t.Error("unfinished record not marked in_flight")
+	}
+	if s.Dur <= 0 {
+		t.Error("in-flight record should report elapsed time")
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != EvAttempt {
+		t.Errorf("events = %+v, want one attempt", s.Events)
+	}
+	rec.Finish(206)
+	s = rec.Snapshot()
+	if s.InFlight || s.Status != 206 {
+		t.Errorf("after Finish: in_flight=%v status=%d", s.InFlight, s.Status)
+	}
+}
+
+func TestNilRecordAndRingAreNoops(t *testing.T) {
+	var rec *ReqRecord
+	var ring *RequestRing
+	rec.Event(Event{Kind: EvMerge})
+	rec.Finish(200)
+	ring.Add(rec)
+	if rec.TraceID() != "" || rec.Traceparent() != "" || rec.Since() != 0 || rec.Duration() != 0 {
+		t.Fatal("nil record leaked state")
+	}
+	if got := ring.Snapshot("", 0); got != nil {
+		t.Fatal("nil ring snapshot not nil")
+	}
+	if ring.Find("x") != nil {
+		t.Fatal("nil ring Find not nil")
+	}
+}
+
+func TestRingHandler(t *testing.T) {
+	ring := NewRequestRing(8)
+	a := NewRecord("node", NewTraceID(), "GET", "/skyline", "dims=0")
+	a.Finish(200)
+	b := NewRecord("node", NewTraceID(), "GET", "/membership", "id=3")
+	b.Finish(404)
+	ring.Add(a)
+	ring.Add(b)
+
+	// Full listing, newest first.
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	snaps, err := DecodeRequests(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeRequests: %v", err)
+	}
+	if len(snaps) != 2 || snaps[0].TraceID != b.TraceID() || snaps[1].TraceID != a.TraceID() {
+		t.Fatalf("handler listing wrong: %+v", snaps)
+	}
+
+	// Trace filter.
+	rec = httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests?trace="+a.TraceID(), nil))
+	snaps, _ = DecodeRequests(rec.Body.Bytes())
+	if len(snaps) != 1 || snaps[0].TraceID != a.TraceID() {
+		t.Fatalf("trace filter returned %+v", snaps)
+	}
+
+	// Limit.
+	rec = httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests?limit=1", nil))
+	snaps, _ = DecodeRequests(rec.Body.Bytes())
+	if len(snaps) != 1 {
+		t.Fatalf("limit=1 returned %d records", len(snaps))
+	}
+
+	// Bad verbs and params.
+	rec = httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/requests", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/requests?limit=x", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d, want 400", rec.Code)
+	}
+}
+
+func TestRecordContextPlumbing(t *testing.T) {
+	if RecordFrom(context.Background()) != nil {
+		t.Fatal("empty context carried a record")
+	}
+	rec := NewRecord("shard", NewTraceID(), "GET", "/shard/cuboid", "subspace=3")
+	ctx := WithRecord(context.Background(), rec)
+	if RecordFrom(ctx) != rec {
+		t.Fatal("record lost in context")
+	}
+}
+
+func TestSnapshotSpansAndChromeExport(t *testing.T) {
+	rec := NewRecord("coordinator", NewTraceID(), "GET", "/skyline", "dims=0,1")
+	rec.Event(Event{Kind: EvAttempt, Shard: "0", Replica: "http://a", Start: time.Millisecond, Dur: 2 * time.Millisecond})
+	rec.Event(Event{Kind: EvMerge, Start: 4 * time.Millisecond, Dur: time.Millisecond, N: 7})
+	rec.Finish(200)
+	snap := rec.Snapshot()
+
+	spans := SnapshotSpans(snap, 10*time.Millisecond, "coordinator")
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3 (overall + 2 events)", len(spans))
+	}
+	if spans[0].Track != "coordinator" || !strings.Contains(spans[0].Name, "GET /skyline?dims=0,1") {
+		t.Errorf("overall span = %+v", spans[0])
+	}
+	if spans[0].Start != 10*time.Millisecond {
+		t.Errorf("base offset not applied: start %v", spans[0].Start)
+	}
+	if spans[1].Start != 11*time.Millisecond {
+		t.Errorf("event offset: got %v, want 11ms", spans[1].Start)
+	}
+	if spans[2].N != 7 {
+		t.Errorf("merge span N = %d, want 7", spans[2].N)
+	}
+
+	var buf strings.Builder
+	if err := WriteChromeSpans(&buf, spans); err != nil {
+		t.Fatalf("WriteChromeSpans: %v", err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &file); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	// 2 metadata events for the one track + 3 "X" events.
+	if len(file.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events, want 5", len(file.TraceEvents))
+	}
+}

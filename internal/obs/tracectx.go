@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+)
+
+// Distributed trace identity, W3C Trace Context style. The coordinator
+// mints a TraceID per sampled query and propagates it to shard and node
+// servers in a `traceparent` request header
+// ("00-<32 hex trace id>-<16 hex span id>-01"), so one query's hops can be
+// found — and stitched back together — across processes by the id alone.
+//
+// Ids only need to be unique, not unguessable, so they come from math/rand
+// rather than crypto/rand: minting must stay cheap enough to sit on the
+// sampled serving path.
+
+// TraceparentHeader is the propagation header name (lower-case per the
+// W3C Trace Context recommendation; Go's header lookup is case-insensitive).
+const TraceparentHeader = "Traceparent"
+
+// TraceID identifies one distributed request end-to-end.
+type TraceID [16]byte
+
+// SpanID identifies one hop (one process's handling) within a trace.
+type SpanID [8]byte
+
+// IsZero reports an unset id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lower-case hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the id as 16 lower-case hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID mints a random trace id (never zero).
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], rand.Uint64())
+		putUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID mints a random span id (never zero).
+func NewSpanID() SpanID {
+	var s SpanID
+	for s == (SpanID{}) {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}
+
+// Traceparent renders the W3C header value for (trace, span) with the
+// sampled flag set — a hop is only ever labelled when it is being recorded.
+func Traceparent(t TraceID, s SpanID) string {
+	var b strings.Builder
+	b.Grow(2 + 1 + 32 + 1 + 16 + 1 + 2)
+	b.WriteString("00-")
+	b.WriteString(t.String())
+	b.WriteByte('-')
+	b.WriteString(s.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// ParseTraceparent extracts the trace and parent-span ids from a
+// traceparent header value. Unknown versions are accepted as long as the
+// field layout matches (per the spec's forward-compatibility rule);
+// malformed values report false.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var t TraceID
+	var s SpanID
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, s, false
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, false
+	}
+	if t.IsZero() || s == (SpanID{}) {
+		return t, s, false
+	}
+	return t, s, true
+}
+
+// ParseTraceID parses a bare 32-hex-digit trace id (the /trace/query?id=
+// form).
+func ParseTraceID(h string) (TraceID, bool) {
+	var t TraceID
+	if len(h) != 32 {
+		return t, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h)); err != nil {
+		return t, false
+	}
+	return t, !t.IsZero()
+}
+
+// Sampler admits every Nth request into tracing. A nil Sampler, or one
+// constructed with every ≤ 0, never samples — that is the configuration the
+// 0-alloc hot-path guard runs under. Sample is one atomic add, no
+// allocation, safe for concurrent use.
+type Sampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewSampler returns a sampler admitting one request in every `every`;
+// every ≤ 0 returns nil (sampling off).
+func NewSampler(every int) *Sampler {
+	if every <= 0 {
+		return nil
+	}
+	return &Sampler{every: uint64(every)}
+}
+
+// Sample reports whether this request is admitted. The first request is
+// always admitted (so `every` larger than the traffic seen still yields a
+// trace), then every `every`th after it.
+func (s *Sampler) Sample() bool {
+	if s == nil {
+		return false
+	}
+	return (s.n.Add(1)-1)%s.every == 0
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	trace := NewTraceID()
+	span := NewSpanID()
+	h := Traceparent(trace, span)
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("Traceparent = %q, want 00-...-01", h)
+	}
+	if len(h) != 55 {
+		t.Fatalf("Traceparent length %d, want 55", len(h))
+	}
+	gotTrace, gotSpan, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", h)
+	}
+	if gotTrace != trace {
+		t.Errorf("trace id round trip: got %s, want %s", gotTrace, trace)
+	}
+	if gotSpan != span {
+		t.Errorf("span id round trip: got %s, want %s", gotSpan, span)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	good := Traceparent(NewTraceID(), NewSpanID())
+	bad := []string{
+		"",
+		"00-abc",
+		strings.Replace(good, "-", "_", 1),
+		"00-" + strings.Repeat("0", 32) + "-" + good[36:52] + "-01", // zero trace id
+		good[:36] + strings.Repeat("0", 16) + "-01",                 // zero span id
+		"00-" + strings.Repeat("zz", 16) + "-" + good[36:52] + "-01",
+		good[:54], // truncated
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", h)
+		}
+	}
+	if _, _, ok := ParseTraceparent(good); !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", good)
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := NewTraceID()
+	got, ok := ParseTraceID(id.String())
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%s) = %s, %v", id, got, ok)
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted, want reject", bad)
+		}
+	}
+}
+
+func TestIDsNeverZero(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if NewTraceID() == (TraceID{}) {
+			t.Fatal("NewTraceID returned the zero id")
+		}
+		if NewSpanID() == (SpanID{}) {
+			t.Fatal("NewSpanID returned the zero id")
+		}
+	}
+}
+
+func TestSampler(t *testing.T) {
+	if s := NewSampler(0); s != nil {
+		t.Fatal("NewSampler(0) should be nil (never sampling)")
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Fatal("nil sampler sampled")
+	}
+	s := NewSampler(3)
+	var admitted []int
+	for i := 0; i < 9; i++ {
+		if s.Sample() {
+			admitted = append(admitted, i)
+		}
+	}
+	want := []int{0, 3, 6}
+	if len(admitted) != len(want) {
+		t.Fatalf("Sample admitted %v, want %v", admitted, want)
+	}
+	for i := range want {
+		if admitted[i] != want[i] {
+			t.Fatalf("Sample admitted %v, want %v", admitted, want)
+		}
+	}
+	// every=1 admits everything.
+	all := NewSampler(1)
+	for i := 0; i < 5; i++ {
+		if !all.Sample() {
+			t.Fatal("SampleEvery=1 rejected a request")
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"skycube"
+	"skycube/internal/obs"
 )
 
 // nopResponseWriter discards the response without allocating, so the
@@ -61,6 +62,29 @@ func benchRequest(b *testing.B, path string) *http.Request {
 // is part of the acceptance bar (0 on the hit path).
 func BenchmarkServeHot(b *testing.B) {
 	s := benchServer(b, false)
+	req := benchRequest(b, "/skyline?dims=0,2,4")
+	w := &nopResponseWriter{h: http.Header{}}
+	s.ServeHTTP(w, req) // warm the key
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		s.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkServeHotTraced is BenchmarkServeHot with tracing compiled in
+// but sampled out: a request ring is wired, SampleEvery is 0, and the
+// request carries no traceparent header. The tracing decision — one header
+// probe plus a nil-sampler test — must keep the hit path at 0 allocs/op
+// (the acceptance bar, enforced by CI's bench-smoke job).
+func BenchmarkServeHotTraced(b *testing.B) {
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 4096, 5, 97)
+	cube, _, err := skycube.Build(ds, skycube.Options{Algorithm: skycube.MDMC, Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewWith(cube, ds, Options{Requests: obs.NewRequestRing(64)})
 	req := benchRequest(b, "/skyline?dims=0,2,4")
 	w := &nopResponseWriter{h: http.Header{}}
 	s.ServeHTTP(w, req) // warm the key

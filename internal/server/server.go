@@ -53,6 +53,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -110,6 +111,23 @@ type Options struct {
 	// shard overrides it so node and shard caches are distinguishable on
 	// one metrics page.
 	CacheLayer string
+	// Requests, if non-nil, enables distributed request tracing: requests
+	// carrying a traceparent header (propagated by the cluster coordinator)
+	// and one in SampleEvery locally-initiated requests are recorded — with
+	// typed span events from the layers they touch — into this ring, and
+	// GET /debug/requests serves the ring as JSON. Requests that are
+	// sampled out pay one header lookup and keep the warm-cache path
+	// allocation-free.
+	Requests *obs.RequestRing
+	// SampleEvery admits one in N locally-initiated requests into tracing
+	// (0 = trace only requests that arrive with a traceparent header).
+	SampleEvery int
+	// SlowQuery, when > 0, logs one structured line (with the trace id when
+	// sampled) for every request at least this slow.
+	SlowQuery time.Duration
+	// TraceKind labels this server's hop records ("" means "node"); the
+	// cluster shard overrides it.
+	TraceKind string
 }
 
 // DefaultMaxBodyBytes is the mutation body cap when Options.MaxBodyBytes
@@ -128,6 +146,12 @@ type Server struct {
 	// nil rcache.Cache computes every request and stores nothing.
 	cache *rcache.Cache
 	cm    *obs.CacheMetrics
+
+	// sampler admits locally-initiated requests into the request ring; nil
+	// (never sampling) unless Options.SampleEvery is positive.
+	sampler *obs.Sampler
+	// traceKind labels this server's hop records ("node" by default).
+	traceKind string
 
 	// notReady (any bit set) makes /healthz report 503: bit 0 is the
 	// caller-controlled SetReady latch, and busy counts in-flight
@@ -172,6 +196,14 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 	s.cm = obs.NewCacheMetrics(opt.Metrics, layer)
 	if !opt.DisableCache {
 		s.cache = rcache.New(opt.CacheEntries, s.cm)
+	}
+	s.sampler = obs.NewSampler(opt.SampleEvery)
+	s.traceKind = opt.TraceKind
+	if s.traceKind == "" {
+		s.traceKind = "node"
+	}
+	if opt.Requests != nil {
+		s.mux.Handle("/debug/requests", opt.Requests.Handler())
 	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/skyline", s.handleSkyline)
@@ -239,10 +271,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// statusWriter captures the response code for the request middleware.
+// statusWriter captures the response code and body byte count for the
+// request middleware. It forwards the optional interfaces the bare wrapper
+// would otherwise swallow: http.Flusher (so SSE/streaming handlers behind
+// the middleware can push incremental writes) and io.ReaderFrom (so
+// io.Copy-style responses keep the underlying writer's zero-copy path).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -250,26 +287,96 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// ServeHTTP implements http.Handler: the middleware around the mux.
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer's Flusher, if any, so streaming
+// handlers are not silently buffered by the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ReadFrom forwards to the underlying writer's io.ReaderFrom (sendfile and
+// friends), falling back to a plain copy that deliberately bypasses this
+// wrapper's own ReadFrom.
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := w.ResponseWriter.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(src)
+		w.bytes += n
+		return n, err
+	}
+	n, err := io.Copy(struct{ io.Writer }{w.ResponseWriter}, src)
+	w.bytes += n
+	return n, err
+}
+
+// ServeHTTP implements http.Handler: the middleware around the mux. The
+// bare configuration — no metrics, no logger, no slow-query threshold, and
+// this request not sampled into the trace ring — is a straight passthrough,
+// preserving the warm-cache 0-alloc serving path.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.opt.Metrics == nil && s.opt.Logger == nil {
+	var rec *obs.ReqRecord
+	if s.opt.Requests != nil {
+		if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+			if trace, _, ok := obs.ParseTraceparent(tp); ok {
+				rec = obs.NewRecord(s.traceKind, trace, r.Method, r.URL.Path, r.URL.RawQuery)
+			}
+		}
+		if rec == nil && s.sampler.Sample() {
+			rec = obs.NewRecord(s.traceKind, obs.NewTraceID(), r.Method, r.URL.Path, r.URL.RawQuery)
+		}
+	}
+	if rec == nil && s.opt.Metrics == nil && s.opt.Logger == nil && s.opt.SlowQuery <= 0 {
 		s.mux.ServeHTTP(w, r)
 		return
+	}
+	if rec != nil {
+		s.opt.Requests.Add(rec)
+		r = r.WithContext(obs.WithRecord(r.Context(), rec))
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
 	dur := time.Since(start)
+	rec.Finish(sw.status)
 	path := r.URL.Path
 	if s.opt.Metrics != nil {
 		s.opt.Metrics.CounterM("http_requests_total", "HTTP requests served.",
 			"path", path, "code", strconv.Itoa(sw.status)).Inc()
 		s.opt.Metrics.HistogramM("http_request_duration_seconds",
-			"HTTP request latency.", nil, "path", path).Observe(dur.Seconds())
+			"HTTP request latency.", nil, "path", path).
+			ObserveExemplar(dur.Seconds(), rec.TraceID())
+		s.opt.Metrics.CounterM("http_response_bytes_total",
+			"HTTP response body bytes written.", "path", path).Add(float64(sw.bytes))
+	}
+	if s.opt.SlowQuery > 0 && dur >= s.opt.SlowQuery {
+		s.logSlow(r, sw.status, dur, rec.TraceID())
 	}
 	if s.opt.Logger != nil {
 		s.opt.Logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), sw.status, dur)
 	}
+}
+
+// logSlow emits the slow-query log line: one structured line per offending
+// request, carrying the trace id when the request was sampled so the
+// corresponding /debug/requests record (and /trace/query timeline) is one
+// lookup away.
+func (s *Server) logSlow(r *http.Request, status int, dur time.Duration, traceID string) {
+	if traceID == "" {
+		traceID = "-"
+	}
+	line := fmt.Sprintf("slow-query method=%s path=%s query=%q status=%d dur=%s threshold=%s trace=%s",
+		r.Method, r.URL.Path, r.URL.RawQuery, status, dur, s.opt.SlowQuery, traceID)
+	if s.opt.Logger != nil {
+		s.opt.Logger.Print(line)
+		return
+	}
+	log.Print(line)
 }
 
 // allow guards a handler's verb: on mismatch it answers 405 with the
@@ -415,6 +522,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Exemplars use OpenMetrics syntax that classic text-format parsers
+	// reject, so they are opt-in per scrape.
+	if r.URL.Query().Get("exemplars") == "1" {
+		_ = s.opt.Metrics.WritePrometheusExemplars(w)
+		return
+	}
 	_ = s.opt.Metrics.WritePrometheus(w)
 }
 
@@ -458,6 +571,14 @@ func serveEntry(w http.ResponseWriter, r *http.Request, e *rcache.Entry, cm *obs
 	rcache.Serve(w, r, e, cm)
 }
 
+// traceCache records the cache disposition of a read on the request's trace
+// record, if it carries one. Untraced requests pay a single context lookup.
+func traceCache(r *http.Request, detail string) {
+	if rec := obs.RecordFrom(r.Context()); rec != nil {
+		rec.Event(obs.Event{Kind: obs.EvCache, Detail: detail, Start: rec.Since()})
+	}
+}
+
 // encodeEntry marshals v and wraps it with the strong validator for
 // (epoch, tag) — the fill function of every cached read endpoint.
 func encodeEntry(epoch uint64, tag string, v interface{}) (*rcache.Entry, error) {
@@ -474,10 +595,12 @@ func (s *Server) handleSkyline(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil && cacheable(r) {
 		if e, ok := s.cache.Get(rcache.Key{Epoch: s.currentEpoch(), Variant: r.URL.RawQuery}); ok {
+			traceCache(r, "hit")
 			serveEntry(w, r, e, s.cm)
 			return
 		}
 	}
+	traceCache(r, "miss")
 	v, ok := s.resolveView(w, r)
 	if !ok {
 		return
@@ -547,10 +670,12 @@ func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil && cacheable(r) {
 		if e, ok := s.cache.Get(rcache.Key{Epoch: s.currentEpoch(), Variant: r.URL.RawQuery}); ok {
+			traceCache(r, "hit")
 			serveEntry(w, r, e, s.cm)
 			return
 		}
 	}
+	traceCache(r, "miss")
 	v, ok := s.resolveView(w, r)
 	if !ok {
 		return
