@@ -11,9 +11,11 @@
 // With -shards K the dataset is split into K disjoint partition files named
 // <out>-<s>-of-<K>.txt, ready to serve with skycubed -shard. -shard-mode
 // picks the split: round-robin (row r goes to shard r mod K, global id
-// arithmetic base s / stride K) or range (contiguous blocks, base offset /
-// stride 1); each file carries its skycubed -shard flags in a comment
-// header.
+// arithmetic base s / stride K), range (contiguous blocks, base offset /
+// stride 1), or the spatial modes grid and angular (positional ids — base =
+// total size of earlier shards, stride 1 — whose tight per-shard bounding
+// boxes feed the coordinator's -prune region pruning; read-only clusters);
+// each file carries its skycubed -shard flags in a comment header.
 package main
 
 import (
@@ -23,7 +25,6 @@ import (
 	"os"
 
 	"skycube"
-	"skycube/internal/data"
 )
 
 func main() {
@@ -34,7 +35,7 @@ func main() {
 	real := flag.String("real", "", "real-data stand-in instead: NBA, HH, CT, or WE")
 	scale := flag.Float64("scale", 1, "row-count scale for -real, in (0,1]")
 	shards := flag.Int("shards", 0, "split into this many disjoint partition files instead of writing stdout")
-	shardMode := flag.String("shard-mode", "round-robin", "partition mode with -shards: round-robin or range")
+	shardMode := flag.String("shard-mode", "round-robin", "partition mode with -shards: round-robin, range, grid, or angular")
 	out := flag.String("out", "part", "output file prefix with -shards (files named <out>-<s>-of-<K>.txt)")
 	flag.Parse()
 
@@ -85,19 +86,28 @@ func writeShards(ds *skycube.Dataset, k int, modeName, prefix string) error {
 		mode = skycube.RoundRobinPartition
 	case "range":
 		mode = skycube.RangePartition
+	case "grid":
+		mode = skycube.GridPartition
+	case "angular":
+		mode = skycube.AngularPartition
 	default:
-		return fmt.Errorf("unknown -shard-mode %q (round-robin or range)", modeName)
+		return fmt.Errorf("unknown -shard-mode %q (round-robin, range, grid, or angular)", modeName)
 	}
 	parts, err := ds.Partition(k, mode)
 	if err != nil {
 		return err
 	}
-	offsets := data.RangeOffsets(ds.Len(), k)
+	// Positional modes number global ids by concatenation order, so a
+	// shard's id base is the total size of the shards before it (for equal
+	// range blocks this reproduces data.RangeOffsets; grid/angular cells
+	// are generally unequal).
+	posBase := 0
 	for s, part := range parts {
 		base, stride := s, k
-		if mode == skycube.RangePartition {
-			base, stride = offsets[s], 1
+		if mode.Positional() {
+			base, stride = posBase, 1
 		}
+		posBase += part.Len()
 		name := fmt.Sprintf("%s-%d-of-%d.txt", prefix, s, k)
 		f, err := os.Create(name)
 		if err != nil {

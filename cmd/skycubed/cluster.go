@@ -43,12 +43,19 @@ func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 		"GET /shard/cuboid?subspace=N, /shard/info, /skyline, /healthz, /metrics; POST /insert, /delete, /flush")
 }
 
+// pruneOptions carry the -prune/-pre-filter-k/-pre-filter-min-shards flags.
+type pruneOptions struct {
+	enabled            bool
+	preFilterK         int
+	preFilterMinShards int
+}
+
 // runCoordinatorMode serves the cluster's public surface over a shard map
 // given as a flat URL list: with -replicas R, each consecutive run of R
 // URLs is one shard's replica set.
 func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
 	timeout, hedgeDelay time.Duration, withPprof bool, cacheEntries int, noCache bool,
-	tracing traceOptions) {
+	tracing traceOptions, prune pruneOptions) {
 	urls := splitNonEmpty(shardList)
 	if len(urls) == 0 {
 		fmt.Fprintln(os.Stderr, "skycubed: -coordinator requires -shards url,url,...")
@@ -68,16 +75,19 @@ func runCoordinatorMode(addr, shardList string, replicas int, extended bool,
 	}
 	metrics := skycube.NewMetrics()
 	coord, err := cluster.NewCoordinator(specs, cluster.CoordinatorOptions{
-		Timeout:      timeout,
-		HedgeDelay:   hedgeDelay,
-		Extended:     extended,
-		Metrics:      metrics,
-		Logger:       log.New(os.Stderr, "skycubed: ", log.LstdFlags),
-		CacheEntries: cacheEntries,
-		DisableCache: noCache,
-		Requests:     tracing.ring,
-		SampleEvery:  tracing.sampleEvery,
-		SlowQuery:    tracing.slowQuery,
+		Timeout:            timeout,
+		HedgeDelay:         hedgeDelay,
+		Extended:           extended,
+		Prune:              prune.enabled,
+		PreFilterK:         prune.preFilterK,
+		PreFilterMinShards: prune.preFilterMinShards,
+		Metrics:            metrics,
+		Logger:             log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+		CacheEntries:       cacheEntries,
+		DisableCache:       noCache,
+		Requests:           tracing.ring,
+		SampleEvery:        tracing.sampleEvery,
+		SlowQuery:          tracing.slowQuery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "skycubed:", err)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"testing"
 
 	"skycube"
@@ -171,6 +172,126 @@ func TestDifferentialIncremental(t *testing.T) {
 					checkAgainstFreshBuild(t, up.Flush(), live)
 				}
 				checkAgainstFreshBuild(t, up.Compact(), live)
+			})
+		}
+	}
+}
+
+// TestDifferentialPartitionMerge checks the cluster tier's foundational
+// identity through the public API alone: for every partition mode, splitting
+// a dataset, building each part independently, and re-filtering the union of
+// the local cuboids yields exactly the full build's skycube, cuboid by
+// cuboid. Positional modes (range, grid, angular) renumber points by
+// concatenation order, so their oracle is a rebuild over the concatenated
+// rows; round-robin keeps the arithmetic id mapping s + r·k.
+func TestDifferentialPartitionMerge(t *testing.T) {
+	modes := []struct {
+		name string
+		mode skycube.PartitionMode
+	}{
+		{"roundrobin", skycube.RoundRobinPartition},
+		{"range", skycube.RangePartition},
+		{"grid", skycube.GridPartition},
+		{"angular", skycube.AngularPartition},
+	}
+	dominates := func(p, q []float32, delta skycube.Subspace) bool {
+		strict := false
+		for j := 0; j < len(p); j++ {
+			if delta&(1<<uint(j)) == 0 {
+				continue
+			}
+			if p[j] > q[j] {
+				return false
+			}
+			if p[j] < q[j] {
+				strict = true
+			}
+		}
+		return strict
+	}
+	ds := skycube.GenerateSynthetic(skycube.Anticorrelated, 1200, 4, 59)
+	d := ds.Dims()
+	for _, mc := range modes {
+		for _, k := range []int{2, 3, 4} {
+			t.Run(fmt.Sprintf("%s/k=%d", mc.name, k), func(t *testing.T) {
+				parts, err := ds.Partition(k, mc.mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := 0
+				for _, p := range parts {
+					total += p.Len()
+				}
+				if total != ds.Len() {
+					t.Fatalf("partition sizes sum to %d, dataset has %d rows", total, ds.Len())
+				}
+				// The oracle dataset in the id space the merge produces.
+				oracleDS := ds
+				if mc.mode.Positional() {
+					var rows [][]float32
+					for _, p := range parts {
+						for r := 0; r < p.Len(); r++ {
+							rows = append(rows, p.Point(r))
+						}
+					}
+					if oracleDS, err = skycube.DatasetFromRows(rows); err != nil {
+						t.Fatal(err)
+					}
+				}
+				oracle, _, err := skycube.Build(oracleDS, skycube.Options{
+					Algorithm: skycube.QSkycube, Threads: 1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				type local struct {
+					cube skycube.Skycube
+					base int
+				}
+				locals := make([]local, len(parts))
+				base := 0
+				for s, p := range parts {
+					cube, _, err := skycube.Build(p, skycube.Options{Threads: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					locals[s] = local{cube: cube, base: base}
+					base += p.Len()
+				}
+				for _, delta := range skycube.AllSubspaces(d) {
+					// Gather local cuboid members under global ids, then
+					// re-filter the union: the distributed merge in miniature.
+					var cands []int32
+					for s, lc := range locals {
+						for _, r := range lc.cube.Skyline(delta) {
+							if mc.mode.Positional() {
+								cands = append(cands, int32(lc.base)+r)
+							} else {
+								cands = append(cands, int32(s)+r*int32(k))
+							}
+						}
+					}
+					var got []int32
+					for _, id := range cands {
+						p := oracleDS.Point(int(id))
+						dead := false
+						for _, other := range cands {
+							if other != id && dominates(oracleDS.Point(int(other)), p, delta) {
+								dead = true
+								break
+							}
+						}
+						if !dead {
+							got = append(got, id)
+						}
+					}
+					sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+					want := oracle.Skyline(delta)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("δ=%0*b: merged %d ids, oracle %d\n got %v\nwant %v",
+							d, delta, len(got), len(want), got, want)
+					}
+				}
 			})
 		}
 	}

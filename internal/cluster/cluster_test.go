@@ -13,7 +13,6 @@ import (
 	"time"
 
 	"skycube"
-	"skycube/internal/data"
 	"skycube/internal/dom"
 	"skycube/internal/mask"
 	"skycube/internal/obs"
@@ -56,13 +55,18 @@ func newTestClusterOpts(t *testing.T, ds *skycube.Dataset, k, r int, mode skycub
 	if err != nil {
 		t.Fatalf("Partition: %v", err)
 	}
-	offsets := data.RangeOffsets(ds.Len(), k)
 	tc := &testCluster{parts: parts}
+	posBase := 0
 	for s, part := range parts {
 		base, stride := s, k
-		if mode == skycube.RangePartition {
-			base, stride = offsets[s], 1
+		if mode.Positional() {
+			// Positional modes (range, grid, angular) number global ids by
+			// concatenation order: this shard's base is the total size of
+			// the shards before it. For range partitions of equal size this
+			// reproduces data.RangeOffsets; grid/angular cells are unequal.
+			base, stride = posBase, 1
 		}
+		posBase += part.Len()
 		var reps []*Shard
 		var srvs []*httptest.Server
 		var urls []string

@@ -59,6 +59,21 @@ type CoordinatorOptions struct {
 	// an O(1) cube lookup per shard, S⁺_δ is the literal candidate set of
 	// the partition-and-merge theory (and an input scan per query).
 	Extended bool
+	// Prune enables the communication-efficient gather (see prune.go): a
+	// prelude round fetches per-shard region corners, whole shards whose
+	// region is dominated are skipped, and the remaining shards drop
+	// candidates dominated by foreign corners before replying. The merged
+	// result is byte-identical to the unpruned gather; any prelude failure
+	// or epoch race falls back to the plain path.
+	Prune bool
+	// PreFilterK, when > 0, additionally broadcasts each shard's K best
+	// points (smallest coordinate sum in the queried subspace) as filter
+	// points — the representative-point pre-filter. Implies Prune. The
+	// pre-filter is skipped automatically below PreFilterMinShards shards.
+	PreFilterK int
+	// PreFilterMinShards is the minimum cluster size at which PreFilterK
+	// takes effect (0 = DefaultPreFilterMinShards).
+	PreFilterMinShards int
 	// CacheEntries bounds the coordinator's merged-response cache (LRU);
 	// 0 means rcache.DefaultEntries.
 	CacheEntries int
@@ -119,6 +134,12 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	}
 	if o.Client == nil {
 		o.Client = &http.Client{}
+	}
+	if o.PreFilterK > 0 {
+		o.Prune = true
+	}
+	if o.PreFilterMinShards <= 0 {
+		o.PreFilterMinShards = DefaultPreFilterMinShards
 	}
 	return o
 }
@@ -428,7 +449,10 @@ func (c *Coordinator) epochVectorHash(epochs map[string]uint64) uint64 {
 // skylineResponse is the coordinator's /skyline payload. Partial is set —
 // and the HTTP status is 206 — when a shard had no live replica: the ids
 // are then a correct skyline of the reachable partitions only, never a
-// silently wrong global answer.
+// silently wrong global answer. Candidates counts the shard-local skyline
+// members the query CONSIDERED — shipped plus source-side filtered plus
+// skipped-shard counts — so the pruned and unpruned gathers report the
+// same value (and stay byte-identical).
 type skylineResponse struct {
 	Dims         []int             `json:"dims"`
 	Subspace     uint32            `json:"subspace"`
@@ -578,7 +602,7 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 	rec := obs.RecordFrom(ctx)
 	scratch := mergePool.Get().(*mergeScratch)
 	defer scratch.release()
-	cands, epochs, failed := c.gather(ctx, delta, scratch)
+	cands, epochs, failed, considered := c.gatherForQuery(ctx, delta, scratch)
 	if len(failed) == len(c.shards) {
 		return nil, &gatewayError{msg: fmt.Sprintf("all %d shards unreachable", len(c.shards))}
 	}
@@ -602,7 +626,7 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 			Subspace:   uint32(delta),
 			Count:      len(ids),
 			IDs:        ids,
-			Candidates: len(cands),
+			Candidates: considered,
 			Epochs:     epochs,
 		}
 		encStart := rec.Since()
@@ -627,7 +651,7 @@ func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims 
 		Subspace:     uint32(delta),
 		Count:        len(ids),
 		IDs:          ids,
-		Candidates:   len(cands),
+		Candidates:   considered,
 		Partial:      true,
 		FailedShards: failed,
 		Epochs:       epochs,

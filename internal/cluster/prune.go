@@ -1,0 +1,456 @@
+// Communication-efficient gather: source-side region pruning and the
+// representative-point pre-filter.
+//
+// The unpruned scatter-gather ships every shard-local skyline member to the
+// coordinator and lets one final dominance filter remove the impostors. Most
+// of those bytes are wasted: a point dominated by *any* actual point of
+// another shard can never survive the merge. This file gives the cluster
+// three ways to prove that before the bytes move:
+//
+//   - Region corners (always on with Prune): the prelude round fetches each
+//     shard's per-cuboid bounding box (min/max corner over its local S_δ)
+//     plus its count and epoch. A shard whose whole region is dominated by
+//     another non-empty shard's region is skipped outright; every other
+//     shard receives the foreign max corners as filter points and drops the
+//     local members they dominate before replying.
+//
+//   - Representative points (PreFilterK > 0): the prelude additionally asks
+//     each shard for its k best points by sum-of-coordinates in the queried
+//     subspace. Reps are actual points, so they prune far more than corners
+//     on datasets whose shard boxes overlap.
+//
+//   - Arrival-order late skips: as cuboid replies stream in, their actual
+//     points are tested against the min corners of still-pending shards; a
+//     pending shard whose entire region is dominated by an arrived point is
+//     cancelled mid-flight.
+//
+// Soundness rests on every filter point witnessing an actual stored point:
+// a rep IS a point, and a non-empty region's max corner is dominated-by
+// implies dominated-by-every-region-point (internal/dom/region.go). A shard
+// never receives its own corner or reps — they can never Definition-1
+// dominate its own result members (the corner is componentwise ≥ each of
+// them; reps are members, and members are mutually undominated), so
+// shipping them back is pure waste.
+//
+// Exactness: the pruned merge is byte-identical to the unpruned merge at
+// the prelude's epoch vector. Dropped points are exactly points the final
+// dominance filter would discard (a dominated point's minimal dominator is
+// globally undominated, hence locally undominated, hence shipped — the
+// transitivity argument of the package comment), and the response's
+// Candidates field counts *considered* points (shipped + filtered +
+// skipped), which both paths agree equals Σ|local S_δ|. The pruned path
+// validates that every gathered shard still serves its prelude epoch and
+// falls back to the plain gather on any prelude failure, gather failure or
+// epoch mismatch — degraded is unpruned or an honest 206, never silently
+// wrong.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+	"skycube/internal/obs"
+)
+
+// DefaultPreFilterMinShards is the shard count below which the
+// representative pre-filter is skipped automatically: with very few shards
+// the rep broadcast costs about what it saves.
+const DefaultPreFilterMinShards = 3
+
+// maxFilterPoints caps how many filter points a shard accepts in one cuboid
+// request (the coordinator stays far below this; the cap bounds adversarial
+// query cost).
+const maxFilterPoints = 4096
+
+// encodePointList renders points as "v1,v2;v1,v2" with strconv's shortest
+// round-trip float32 formatting. The result goes into a URL query parameter
+// — callers must url.QueryEscape it ('g' formatting can emit '+' in
+// exponents, which would decode as a space).
+func encodePointList(pts [][]float32) string {
+	var sb strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		for j, v := range p {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32))
+		}
+	}
+	return sb.String()
+}
+
+// decodePointList parses encodePointList's format, requiring every point to
+// have exactly dims finite coordinates.
+func decodePointList(s string, dims int) ([][]float32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	groups := strings.Split(s, ";")
+	if len(groups) > maxFilterPoints {
+		return nil, fmt.Errorf("filter has %d points (max %d)", len(groups), maxFilterPoints)
+	}
+	pts := make([][]float32, len(groups))
+	for i, g := range groups {
+		fields := strings.Split(g, ",")
+		if len(fields) != dims {
+			return nil, fmt.Errorf("filter point %d has %d coordinates, want %d", i, len(fields), dims)
+		}
+		p := make([]float32, dims)
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return nil, fmt.Errorf("filter point %d coordinate %d: %v", i, j, err)
+			}
+			p[j] = float32(v)
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// estPointBytes estimates the wire cost of one candidate in a cuboid
+// response body (its id plus d JSON-encoded float32s) — the unit the
+// bytes-saved counter is credited in.
+func estPointBytes(d int) int { return 8 + 14*d }
+
+// dominatedByAny reports whether any filter point dominates p in δ. Filter
+// points are dominance witnesses (actual points or non-empty-region max
+// corners), so a true result proves p cannot be in the global skyline.
+func dominatedByAny(filter [][]float32, p []float32, delta mask.Mask) bool {
+	for _, f := range filter {
+		if dom.DominatesIn(f, p, delta) {
+			return true
+		}
+	}
+	return false
+}
+
+// shardMeta is one shard's prelude contribution: its local cuboid size and
+// epoch, the bounding box of its local result, and its representative
+// points. The zero region (nil corners) means the shard's cuboid is empty.
+type shardMeta struct {
+	count  int
+	epoch  uint64
+	region dom.Region
+	reps   [][]float32
+}
+
+// upfrontSkips decides, from prelude metadata alone, which shards need not
+// be gathered at all: empty shards, and shards whose entire region is
+// dominated by another shard's region or by another shard's representative
+// point. The skip relation cannot cycle — every witness w_j of "skip i"
+// satisfies min_j ≤ w_j and w_j ≺ min_i, so a cycle would chain into a
+// strict self-domination — hence at least one non-empty shard always
+// survives.
+func upfrontSkips(metas []shardMeta, delta mask.Mask) []bool {
+	skip := make([]bool, len(metas))
+	for i := range metas {
+		if metas[i].count == 0 {
+			skip[i] = true
+			continue
+		}
+		for j := range metas {
+			if j == i || metas[j].count == 0 {
+				continue
+			}
+			if dom.RegionDominatesRegion(metas[j].region, metas[i].region, delta) {
+				skip[i] = true
+				break
+			}
+			dominated := false
+			for _, rep := range metas[j].reps {
+				if dom.PointDominatesRegion(rep, metas[i].region, delta) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				skip[i] = true
+				break
+			}
+		}
+	}
+	return skip
+}
+
+// buildFilter assembles destination shard self's filter set: every OTHER
+// non-empty shard's max corner plus its representative points. The
+// destination's own corner and reps are excluded: they cannot prune any of
+// its own result members (the corner is componentwise ≥ each member, and
+// members never dominate each other), so sending them is wasted bytes and
+// wasted dominance tests.
+func buildFilter(metas []shardMeta, self int) [][]float32 {
+	var out [][]float32
+	for j := range metas {
+		if j == self || metas[j].count == 0 {
+			continue
+		}
+		out = append(out, metas[j].region.Max)
+		out = append(out, metas[j].reps...)
+	}
+	return out
+}
+
+// pruneFallback records the pruned gather abandoning its prelude.
+func (c *Coordinator) pruneFallback(rec *obs.ReqRecord, reason string, err error) {
+	c.cm.PruneFallback(reason)
+	ev := obs.Event{Kind: obs.EvPruneFallback, Detail: reason, Start: rec.Since()}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	rec.Event(ev)
+	if c.opt.Logger != nil {
+		c.opt.Logger.Printf("cluster: pruned gather fell back (%s): %v", reason, err)
+	}
+}
+
+// dimCount returns the learned cluster dimensionality (0 until Refresh).
+func (c *Coordinator) dimCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dims
+}
+
+// gatherForQuery is the gather used by computeSkyline: the pruned path when
+// enabled (falling back to the plain gather on any prelude/epoch/transport
+// trouble), the plain gather otherwise. The fourth result is the considered
+// candidate count — shipped + source-filtered + skipped — which the response
+// reports as Candidates; on the unpruned path it equals len(cands).
+func (c *Coordinator) gatherForQuery(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, []string, int) {
+	if c.opt.Prune && len(c.shards) > 1 {
+		if cands, epochs, considered, ok := c.gatherPruned(ctx, delta, scratch); ok {
+			return cands, epochs, nil, considered
+		}
+	}
+	cands, epochs, failed := c.gather(ctx, delta, scratch)
+	return cands, epochs, failed, len(cands)
+}
+
+// gatherPruned runs the pruned gather: prelude (corners + reps), upfront
+// region skips, filtered cuboid fan-out with arrival-order late skips, and
+// per-shard epoch validation. ok=false means the caller must fall back to
+// the plain gather; the reason has already been recorded.
+func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, int, bool) {
+	rec := obs.RecordFrom(ctx)
+	n := len(c.shards)
+	preK := c.opt.PreFilterK
+	if n < c.opt.PreFilterMinShards {
+		preK = 0
+	}
+	metaPath := fmt.Sprintf("/shard/skymeta?subspace=%d", uint32(delta))
+	if c.opt.Extended {
+		metaPath += "&extended=true"
+	}
+	if preK > 0 {
+		metaPath += "&k=" + strconv.Itoa(preK)
+	}
+
+	// Prelude: every shard's corners (and reps) — tiny bodies, full
+	// hedge/retry machinery. Any failure aborts pruning: a missing region
+	// means missing witnesses, and guessing is how wrong answers happen.
+	preludeStart := rec.Since()
+	metas := make([]shardMeta, n)
+	type metaResult struct {
+		idx int
+		err error
+	}
+	mch := make(chan metaResult, n)
+	for i, g := range c.shards {
+		go func(i int, g *shardGroup) {
+			body, err := c.client.get(ctx, g, metaPath)
+			if err == nil {
+				var m skymetaResponse
+				if err = json.Unmarshal(body, &m); err == nil {
+					metas[i] = shardMeta{count: m.Count, epoch: m.Epoch,
+						region: dom.Region{Min: m.Min, Max: m.Max}, reps: m.Reps}
+				}
+			}
+			mch <- metaResult{i, err}
+		}(i, g)
+	}
+	var preludeErr error
+	for range c.shards {
+		if r := <-mch; r.err != nil && preludeErr == nil {
+			preludeErr = fmt.Errorf("shard %s skymeta: %w", c.shards[r.idx].name, r.err)
+		}
+	}
+	if preludeErr != nil {
+		c.pruneFallback(rec, "prelude_error", preludeErr)
+		return nil, nil, 0, false
+	}
+	if preK > 0 {
+		totalReps := 0
+		for i := range metas {
+			totalReps += len(metas[i].reps)
+		}
+		c.cm.Prefilter(totalReps)
+		rec.Event(obs.Event{Kind: obs.EvPrefilter, Start: preludeStart,
+			Dur: rec.Since() - preludeStart, N: int64(totalReps)})
+	}
+
+	skipped := upfrontSkips(metas, delta)
+
+	// Filtered fan-out to the surviving shards, each under its own
+	// cancellable context so a late skip can abandon the request mid-flight
+	// (the client releases breaker probes on cancellation, so our own
+	// cancels never look like replica failures).
+	basePath := fmt.Sprintf("/shard/cuboid?subspace=%d", uint32(delta))
+	if c.opt.Extended {
+		basePath += "&extended=true"
+	}
+	type prResult struct {
+		idx        int
+		resp       *cuboidResponse
+		bodyLen    int
+		err        error
+		began, dur time.Duration
+		wall       time.Duration
+	}
+	ch := make(chan prResult, n)
+	cancels := make([]context.CancelFunc, n)
+	defer func() {
+		for _, cf := range cancels {
+			if cf != nil {
+				cf()
+			}
+		}
+	}()
+	active := 0
+	for i, g := range c.shards {
+		if skipped[i] {
+			continue
+		}
+		path := basePath
+		if f := buildFilter(metas, i); len(f) > 0 {
+			path += "&filter=" + url.QueryEscape(encodePointList(f))
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		active++
+		go func(i int, g *shardGroup, path string, cctx context.Context) {
+			began := rec.Since()
+			start := time.Now()
+			body, err := c.client.get(cctx, g, path)
+			res := prResult{idx: i, began: began, wall: time.Since(start), err: err}
+			if err == nil {
+				var resp cuboidResponse
+				if uerr := json.Unmarshal(body, &resp); uerr != nil {
+					res.err = uerr
+				} else {
+					res.resp = &resp
+					res.bodyLen = len(body)
+				}
+			}
+			res.dur = rec.Since() - began
+			ch <- res
+		}(i, g, path, cctx)
+	}
+
+	d := c.dimCount()
+	responses := make([]*cuboidResponse, n)
+	lateSkipped := make([]bool, n)
+	var fallbackReason string
+	var fallbackErr error
+	for got := 0; got < active; got++ {
+		r := <-ch
+		if lateSkipped[r.idx] {
+			// Either our cancellation surfacing as an error, or the response
+			// racing the cancel: the shard is skipped either way, and the
+			// prelude already accounts for it.
+			continue
+		}
+		if r.err != nil {
+			fallbackReason, fallbackErr = "gather_error",
+				fmt.Errorf("shard %s: %w", c.shards[r.idx].name, r.err)
+			break
+		}
+		if r.resp.Epoch != metas[r.idx].epoch {
+			// The shard advanced between prelude and gather: the filter
+			// points other shards pruned with may reference points this
+			// epoch no longer holds. Only the unpruned path is exact now.
+			fallbackReason = "epoch_mismatch"
+			fallbackErr = fmt.Errorf("shard %s answered at epoch %d, prelude saw %d",
+				c.shards[r.idx].name, r.resp.Epoch, metas[r.idx].epoch)
+			break
+		}
+		g := c.shards[r.idx]
+		c.cm.Fanout(g.name, r.wall, true)
+		rec.Event(obs.Event{Kind: obs.EvShardResult, Shard: g.name,
+			Start: r.began, Dur: r.dur,
+			N: int64(len(r.resp.IDs)), Bytes: int64(r.bodyLen), Epoch: r.resp.Epoch})
+		if r.resp.Filtered > 0 {
+			c.cm.Pruned(g.name, len(r.resp.IDs)+r.resp.Filtered, r.resp.Filtered,
+				r.resp.Filtered*estPointBytes(d))
+			rec.Event(obs.Event{Kind: obs.EvPrune, Shard: g.name,
+				Start: rec.Since(), N: int64(r.resp.Filtered)})
+		}
+		responses[r.idx] = r.resp
+		// Arrival-order late skips: an arrived actual point dominating a
+		// pending shard's min corner dominates that shard's every result
+		// point — stop asking.
+		for j := range c.shards {
+			if j == r.idx || skipped[j] || lateSkipped[j] || responses[j] != nil {
+				continue
+			}
+			for _, p := range r.resp.Points {
+				if dom.PointDominatesRegion(p, metas[j].region, delta) {
+					lateSkipped[j] = true
+					cancels[j]()
+					break
+				}
+			}
+		}
+	}
+	if fallbackReason != "" {
+		c.pruneFallback(rec, fallbackReason, fallbackErr)
+		return nil, nil, 0, false
+	}
+
+	// Assemble: candidates from gathered shards; epochs and considered
+	// counts cover every shard (skipped ones at their prelude epoch, which
+	// gathered epochs were just validated against — the whole response
+	// corresponds to the prelude's epoch vector).
+	epochs := make(map[string]uint64, n)
+	considered := 0
+	total := 0
+	for i := range c.shards {
+		if responses[i] != nil {
+			total += len(responses[i].IDs)
+		}
+	}
+	if cap(scratch.cands) < total {
+		scratch.cands = make([]candidate, 0, total)
+	}
+	cands := scratch.cands[:0]
+	for i, g := range c.shards {
+		if resp := responses[i]; resp != nil {
+			epochs[g.name] = resp.Epoch
+			considered += len(resp.IDs) + resp.Filtered
+			for k, id := range resp.IDs {
+				cands = append(cands, candidate{id: id, point: resp.Points[k]})
+			}
+			continue
+		}
+		epochs[g.name] = metas[i].epoch
+		considered += metas[i].count
+		detail := "upfront"
+		if lateSkipped[i] {
+			detail = "late"
+		}
+		c.cm.ShardSkipped(g.name, metas[i].count, metas[i].count*estPointBytes(d))
+		rec.Event(obs.Event{Kind: obs.EvPruneSkip, Shard: g.name, Detail: detail,
+			Start: rec.Since(), N: int64(metas[i].count), Epoch: metas[i].epoch})
+	}
+	scratch.cands = cands
+	return cands, epochs, considered, true
+}

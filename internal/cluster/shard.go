@@ -27,6 +27,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -79,8 +80,11 @@ type ShardOptions struct {
 // partition, serving the embedded server's full endpoint set (reads,
 // mutations, /healthz, /metrics) plus the cluster protocol:
 //
-//	GET /shard/cuboid?subspace=N[&extended=true]   shard-local S_δ (or S⁺_δ) with global ids + coordinates
-//	GET /shard/info                                id mapping, dims, live points, epoch
+//	GET /shard/cuboid?subspace=N[&extended=true][&filter=pts]   shard-local S_δ (or S⁺_δ) with global ids +
+//	                                                            coordinates, minus members dominated by a filter point
+//	GET /shard/skymeta?subspace=N[&extended=true][&k=K]         the cuboid's count, epoch, min/max corner and
+//	                                                            top-K representative points (the pruning prelude)
+//	GET /shard/info                                             id mapping, dims, live points, epoch
 type Shard struct {
 	srv     *server.Server
 	up      *skycube.Updater
@@ -141,6 +145,7 @@ func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Sha
 		TraceKind:    "shard",
 	})
 	sh.srv.Handle("/shard/cuboid", http.HandlerFunc(sh.handleCuboid))
+	sh.srv.Handle("/shard/skymeta", http.HandlerFunc(sh.handleSkymeta))
 	sh.srv.Handle("/shard/info", http.HandlerFunc(sh.handleInfo))
 	return sh, nil
 }
@@ -165,12 +170,16 @@ func (s *Shard) GlobalID(local int32) int32 {
 
 // cuboidResponse is the /shard/cuboid payload: the shard-local result for
 // one subspace, as global ids plus coordinates (so the coordinator's merge
-// needs no second round trip).
+// needs no second round trip). Filtered counts the local members dropped
+// source-side because a request filter point dominated them; Count + Filtered
+// is always the full local cuboid size, which is what keeps the pruned
+// coordinator's candidate accounting identical to the unpruned one.
 type cuboidResponse struct {
 	Subspace uint32      `json:"subspace"`
 	Epoch    uint64      `json:"epoch"`
 	Extended bool        `json:"extended"`
 	Count    int         `json:"count"`
+	Filtered int         `json:"filtered,omitempty"`
 	IDs      []int32     `json:"ids"`
 	Points   [][]float32 `json:"points"`
 }
@@ -199,6 +208,11 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 	}
 	delta := mask.Mask(v)
 	extended := r.URL.Query().Get("extended") == "true"
+	filter, err := decodePointList(r.URL.Query().Get("filter"), s.dims)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 
 	// Key and fill under the snapshot's epoch — the epoch echoed in the
 	// body — so a fan-out racing a flush can never receive bytes whose
@@ -216,11 +230,32 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 			}
 			rec.Event(obs.Event{Kind: obs.EvCuboid, Start: extractStart,
 				Dur: rec.Since() - extractStart, N: int64(len(local)), Epoch: snap.Epoch()})
+			// Source-side pruning: drop local members a filter point
+			// dominates before they are encoded. Every filter point the
+			// coordinator sends witnesses an actual point elsewhere in the
+			// cluster, so a dropped member could never survive the final
+			// merge anyway.
+			filtered := 0
+			if len(filter) > 0 {
+				pruneStart := rec.Since()
+				kept := make([]int32, 0, len(local))
+				for _, row := range local {
+					if dominatedByAny(filter, snap.Point(row), delta) {
+						filtered++
+						continue
+					}
+					kept = append(kept, row)
+				}
+				local = kept
+				rec.Event(obs.Event{Kind: obs.EvPrune, Start: pruneStart,
+					Dur: rec.Since() - pruneStart, N: int64(filtered)})
+			}
 			resp := cuboidResponse{
 				Subspace: uint32(delta),
 				Epoch:    snap.Epoch(),
 				Extended: extended,
 				Count:    len(local),
+				Filtered: filtered,
 				IDs:      make([]int32, len(local)),
 				Points:   make([][]float32, len(local)),
 			}
@@ -271,6 +306,153 @@ func (s *Shard) extendedSkyline(snap skycube.Snapshot, delta mask.Mask) []int32 
 		out[i] = sub.IDs[r]
 	}
 	return out
+}
+
+// skymetaResponse is the /shard/skymeta payload — the pruning prelude's
+// view of one shard-local cuboid: its size and serving epoch, the tight
+// min/max corner over its members (absent when empty), and up to K
+// representative points (the members with the smallest coordinate sum over
+// the queried subspace — the strongest dominators to broadcast).
+type skymetaResponse struct {
+	Subspace uint32      `json:"subspace"`
+	Epoch    uint64      `json:"epoch"`
+	Extended bool        `json:"extended"`
+	Count    int         `json:"count"`
+	Min      []float32   `json:"min,omitempty"`
+	Max      []float32   `json:"max,omitempty"`
+	Reps     [][]float32 `json:"reps,omitempty"`
+}
+
+// maxSkymetaReps caps the k parameter (a rep list is broadcast to every
+// other shard; past a few dozen the marginal rep prunes nothing).
+const maxSkymetaReps = 1024
+
+func (s *Shard) handleSkymeta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed (use GET)", http.StatusMethodNotAllowed)
+		return
+	}
+	rec := obs.RecordFrom(r.Context())
+	// Skymeta entries share the cuboid cache under a namespaced variant (the
+	// two endpoints' raw queries can collide verbatim).
+	variant := "m|" + r.URL.RawQuery
+	if s.cache != nil {
+		if e, ok := s.cache.Get(rcache.Key{Epoch: s.up.Current().Epoch(), Variant: variant}); ok {
+			rec.Event(obs.Event{Kind: obs.EvCache, Detail: "hit", Start: rec.Since()})
+			rcache.Serve(w, r, e, s.cm)
+			return
+		}
+	}
+	rec.Event(obs.Event{Kind: obs.EvCache, Detail: "miss", Start: rec.Since()})
+	spec := r.URL.Query().Get("subspace")
+	v, err := strconv.ParseUint(spec, 10, 32)
+	if err != nil || v == 0 || v >= 1<<uint(s.dims) {
+		http.Error(w, fmt.Sprintf("bad subspace %q (need 1..%d)", spec, 1<<uint(s.dims)-1),
+			http.StatusBadRequest)
+		return
+	}
+	delta := mask.Mask(v)
+	extended := r.URL.Query().Get("extended") == "true"
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		kv, err := strconv.Atoi(ks)
+		if err != nil || kv < 0 || kv > maxSkymetaReps {
+			http.Error(w, fmt.Sprintf("bad k %q (need 0..%d)", ks, maxSkymetaReps), http.StatusBadRequest)
+			return
+		}
+		k = kv
+	}
+
+	snap := s.up.Current()
+	e, err2 := s.cache.Fill(rcache.Key{Epoch: snap.Epoch(), Variant: variant},
+		func() (*rcache.Entry, error) {
+			extractStart := rec.Since()
+			var local []int32
+			if extended {
+				local = s.extendedSkyline(snap, delta)
+			} else {
+				local = snap.Skyline(delta)
+			}
+			rec.Event(obs.Event{Kind: obs.EvCuboid, Start: extractStart,
+				Dur: rec.Since() - extractStart, N: int64(len(local)), Epoch: snap.Epoch()})
+			resp := skymetaResponse{
+				Subspace: uint32(delta),
+				Epoch:    snap.Epoch(),
+				Extended: extended,
+				Count:    len(local),
+			}
+			if len(local) > 0 {
+				resp.Min = make([]float32, s.dims)
+				resp.Max = make([]float32, s.dims)
+				copy(resp.Min, snap.Point(local[0]))
+				copy(resp.Max, snap.Point(local[0]))
+				for _, row := range local[1:] {
+					p := snap.Point(row)
+					for j, pv := range p {
+						if pv < resp.Min[j] {
+							resp.Min[j] = pv
+						}
+						if pv > resp.Max[j] {
+							resp.Max[j] = pv
+						}
+					}
+				}
+				if k > 0 {
+					resp.Reps = s.bestReps(snap, local, delta, k)
+				}
+			}
+			var buf bytes.Buffer
+			if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+				return nil, err
+			}
+			tag := fmt.Sprintf(`"m%d-s%d-k%d"`, snap.Epoch(), uint32(delta), k)
+			if extended {
+				tag = strings.TrimSuffix(tag, `"`) + `-x"`
+			}
+			return rcache.NewEntry(tag, buf.Bytes()), nil
+		})
+	if err2 != nil {
+		http.Error(w, err2.Error(), http.StatusInternalServerError)
+		return
+	}
+	rcache.Serve(w, r, e, s.cm)
+}
+
+// bestReps returns the k members of the local cuboid with the smallest
+// coordinate sum over δ — on a smaller-is-better dataset, the points most
+// likely to dominate foreign candidates. Ties break on global id so the rep
+// set is deterministic across replicas (replica sets are byte-identical).
+func (s *Shard) bestReps(snap skycube.Snapshot, local []int32, delta mask.Mask, k int) [][]float32 {
+	type scored struct {
+		row int32
+		sum float64
+	}
+	cand := make([]scored, len(local))
+	for i, row := range local {
+		p := snap.Point(row)
+		var sum float64
+		for j := 0; j < s.dims; j++ {
+			if delta&mask.Bit(j) != 0 {
+				sum += float64(p[j])
+			}
+		}
+		cand[i] = scored{row: row, sum: sum}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if cand[a].sum != cand[b].sum {
+			return cand[a].sum < cand[b].sum
+		}
+		return s.GlobalID(cand[a].row) < s.GlobalID(cand[b].row)
+	})
+	if k > len(cand) {
+		k = len(cand)
+	}
+	reps := make([][]float32, k)
+	for i := 0; i < k; i++ {
+		reps[i] = snap.Point(cand[i].row)
+	}
+	return reps
 }
 
 // shardInfo is the /shard/info payload.

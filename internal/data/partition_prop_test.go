@@ -1,0 +1,153 @@
+// Property tests for the spatial partition modes: every row lands in
+// exactly one shard, shard sizes stay balanced enough to be non-empty, and
+// the per-partition corners genuinely bound their points — including
+// datasets with negative coordinates and duplicate points.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randDataset builds a dataset whose coordinates may be negative and where
+// a fraction of rows are exact duplicates of earlier rows.
+func randDataset(rng *rand.Rand, n, d int, dupFraction float64) *Dataset {
+	rows := make([][]float32, n)
+	for i := range rows {
+		if i > 0 && rng.Float64() < dupFraction {
+			src := rows[rng.Intn(i)]
+			dup := make([]float32, d)
+			copy(dup, src)
+			rows[i] = dup
+			continue
+		}
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = float32(rng.NormFloat64()) // negative about half the time
+		}
+		rows[i] = row
+	}
+	return FromRows(rows)
+}
+
+func TestPartitionPropertySpatialModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		d := 2 + rng.Intn(5)
+		k := 1 + rng.Intn(8)
+		if k > n {
+			k = n
+		}
+		dup := float64(trial%3) * 0.25
+		ds := randDataset(rng, n, d, dup)
+		for _, mode := range []PartitionMode{Grid, Angular, RoundRobin, Range} {
+			t.Run(fmt.Sprintf("t%d/%v/n%d/d%d/k%d", trial, mode, n, d, k), func(t *testing.T) {
+				parts, err := Partition(ds, k, mode)
+				if err != nil {
+					t.Fatalf("Partition: %v", err)
+				}
+				if len(parts) != k {
+					t.Fatalf("got %d shards, want %d", len(parts), k)
+				}
+				// Coverage: counting original row ids across shards, every
+				// row appears exactly once. Duplicate points are
+				// distinguishable by id, so a row routed twice (or dropped)
+				// is caught even when its coordinates repeat.
+				seen := make([]int, n)
+				total := 0
+				for s, p := range parts {
+					if p.N == 0 {
+						t.Fatalf("shard %d empty with n=%d k=%d", s, n, k)
+					}
+					total += p.N
+					for _, id := range p.IDs {
+						if id < 0 || int(id) >= n {
+							t.Fatalf("shard %d carries foreign id %d", s, id)
+						}
+						seen[id]++
+					}
+				}
+				if total != n {
+					t.Fatalf("shards hold %d rows, dataset has %d", total, n)
+				}
+				for id, c := range seen {
+					if c != 1 {
+						t.Fatalf("row %d covered %d times", id, c)
+					}
+				}
+				// Corners bound: every coordinate of every point of a shard
+				// lies inside that shard's [min, max] box.
+				for s, p := range parts {
+					min, max := Corners(p)
+					for i := 0; i < p.N; i++ {
+						for j := 0; j < p.Dims; j++ {
+							v := p.Vals[i*p.Dims+j]
+							if v < min[j] || v > max[j] {
+								t.Fatalf("shard %d row %d dim %d: %v outside corner box [%v,%v]",
+									s, i, j, v, min[j], max[j])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionGridCellsDisjoint pins the Grid mode's defining property on
+// the split dimension hierarchy: the first-level split separates cells on
+// dimension 0 (left cells' max ≤ right cells' min), which is what makes
+// grid corners useful dominance witnesses.
+func TestPartitionGridCellsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := randDataset(rng, 256, 3, 0)
+	parts, err := Partition(ds, 4, Grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gridSplit halves k first: shards {0,1} are the low half of dim 0,
+	// shards {2,3} the high half.
+	var lowMax, highMin float32
+	for s, p := range parts {
+		min, max := Corners(p)
+		if s < 2 {
+			if max[0] > lowMax || s == 0 {
+				lowMax = max[0]
+			}
+		} else {
+			if min[0] < highMin || s == 2 {
+				highMin = min[0]
+			}
+		}
+	}
+	if lowMax > highMin {
+		t.Fatalf("grid first-level split leaks on dim 0: low max %v > high min %v", lowMax, highMin)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds := randDataset(rng, 200, 4, 0.3)
+	for _, mode := range []PartitionMode{Grid, Angular} {
+		a, err := Partition(ds, 5, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(ds, 5, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range a {
+			if len(a[s].IDs) != len(b[s].IDs) {
+				t.Fatalf("%v shard %d size differs across runs", mode, s)
+			}
+			for i := range a[s].IDs {
+				if a[s].IDs[i] != b[s].IDs[i] {
+					t.Fatalf("%v shard %d row %d differs across runs", mode, s, i)
+				}
+			}
+		}
+	}
+}

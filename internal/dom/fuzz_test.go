@@ -1,0 +1,105 @@
+package dom
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"skycube/internal/mask"
+)
+
+// fuzzPointSets decodes raw fuzz bytes into two small point sets over a
+// shared dimensionality (2–5). Coordinates land on a coarse signed 16-bit
+// grid in [-1, 1], so ties, duplicates and negative values are common —
+// exactly the inputs where corner arithmetic and Definition-1 tie handling
+// can disagree.
+func fuzzPointSets(raw []byte) (a, b [][]float32, d int) {
+	if len(raw) < 2 {
+		return nil, nil, 0
+	}
+	d = 2 + int(raw[0])%4
+	na := 1 + int(raw[1])%8
+	raw = raw[2:]
+	decode := func(n int) [][]float32 {
+		if len(raw) < n*d*2 {
+			return nil
+		}
+		pts := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			row := make([]float32, d)
+			for j := 0; j < d; j++ {
+				v := int16(binary.LittleEndian.Uint16(raw[(i*d+j)*2:]))
+				row[j] = float32(v) / 16384
+			}
+			pts[i] = row
+		}
+		raw = raw[n*d*2:]
+		return pts
+	}
+	a = decode(na)
+	nb := 1 + len(raw)/(d*2)
+	if nb > 8 {
+		nb = 8
+	}
+	b = decode(nb)
+	return a, b, d
+}
+
+// FuzzRegionDominance checks the region-dominance soundness contract
+// against brute force over the bounded points: whenever a corner test
+// claims dominance, every witnessed point-level dominance must hold; and
+// the corner tests must agree with running DominatesIn directly on the
+// corners (regions are just points to the kernel).
+func FuzzRegionDominance(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 0, 0, 255, 127, 255, 127})
+	f.Add([]byte{2, 3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16,
+		17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28})
+	f.Add([]byte{1, 2, 0x00, 0x80, 0xff, 0x7f, 0x01, 0x80, 0xfe, 0x7f,
+		0x00, 0x00, 0x00, 0x00, 0x10, 0x00, 0x10, 0x00})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		setA, setB, d := fuzzPointSets(raw)
+		if setA == nil || setB == nil {
+			t.Skip("too few bytes for two point sets")
+		}
+		ra, rb := RegionOf(setA), RegionOf(setB)
+		for _, p := range setA {
+			if !ra.Contains(p) {
+				t.Fatalf("region %v does not contain its point %v", ra, p)
+			}
+		}
+		for delta := mask.Mask(1); delta < 1<<uint(d); delta++ {
+			// Corner tests must be the plain kernel applied to the corners.
+			if got, want := RegionDominatesRegion(ra, rb, delta), DominatesIn(ra.Max, rb.Min, delta); got != want {
+				t.Fatalf("δ=%b: RegionDominatesRegion=%v, corner DominatesIn=%v", delta, got, want)
+			}
+			// Soundness of region-vs-region: the claim implies every pair.
+			if RegionDominatesRegion(ra, rb, delta) {
+				for _, a := range setA {
+					for _, b := range setB {
+						if !DominatesIn(a, b, delta) {
+							t.Fatalf("δ=%b: region A dominates region B claimed, but %v ⊀ %v", delta, a, b)
+						}
+					}
+				}
+			}
+			// Soundness of region-vs-point and point-vs-region.
+			for _, q := range setB {
+				if RegionDominatesPoint(ra, q, delta) {
+					for _, a := range setA {
+						if !DominatesIn(a, q, delta) {
+							t.Fatalf("δ=%b: max-corner claim on %v, but %v ⊀ it", delta, q, a)
+						}
+					}
+				}
+			}
+			for _, p := range setA {
+				if PointDominatesRegion(p, rb, delta) {
+					for _, b := range setB {
+						if !DominatesIn(p, b, delta) {
+							t.Fatalf("δ=%b: min-corner claim by %v, but it ⊀ %v", delta, p, b)
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Region dominance: axis-aligned bounding boxes as dominance witnesses.
+//
+// The distributed tier (internal/cluster) ships per-partition region bounds
+// — the componentwise min/max corners of a shard's local skyline — so that
+// dominance against a *region* can prove dominance by *every point inside
+// it* without shipping the points. The direction of each test matters:
+//
+//   - A region's MAX corner dominating a point proves every point of the
+//     region dominates it (each point is ≤ the max corner on every
+//     dimension, so ≤ carries through, and a strict dimension of the corner
+//     stays strict).
+//   - A point dominating a region's MIN corner proves it dominates every
+//     point of the region, by the mirrored argument.
+//   - Region A's max corner dominating region B's min corner proves every
+//     point of A dominates every point of B.
+//
+// All three are sound only when the witnessing region is non-empty (a
+// corner of nothing proves nothing); callers carry the point count
+// alongside the corners for exactly that reason.
+package dom
+
+import "skycube/internal/mask"
+
+// Region is an axis-aligned bounding box: Min[i] ≤ p[i] ≤ Max[i] for every
+// point p the region bounds, on every dimension i. The zero Region (nil
+// corners) bounds nothing.
+type Region struct {
+	Min, Max []float32
+}
+
+// RegionOf returns the tight bounding box of the given points (componentwise
+// min and max). An empty point set yields the zero Region.
+func RegionOf(points [][]float32) Region {
+	if len(points) == 0 {
+		return Region{}
+	}
+	d := len(points[0])
+	min := make([]float32, d)
+	max := make([]float32, d)
+	copy(min, points[0])
+	copy(max, points[0])
+	for _, p := range points[1:] {
+		for i := 0; i < d && i < len(p); i++ {
+			if p[i] < min[i] {
+				min[i] = p[i]
+			}
+			if p[i] > max[i] {
+				max[i] = p[i]
+			}
+		}
+	}
+	return Region{Min: min, Max: max}
+}
+
+// Contains reports whether p lies inside the region (inclusive).
+func (r Region) Contains(p []float32) bool {
+	if r.Min == nil {
+		return false
+	}
+	for i := range r.Min {
+		if i >= len(p) || p[i] < r.Min[i] || p[i] > r.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RegionDominatesPoint reports whether every point of the (non-empty)
+// region dominates q in δ: the region's max corner ≺_δ q. The corner acts
+// as the worst point the region could hold; if even that dominates q, every
+// actual point does.
+func RegionDominatesPoint(r Region, q []float32, delta mask.Mask) bool {
+	return r.Max != nil && DominatesIn(r.Max, q, delta)
+}
+
+// PointDominatesRegion reports whether p dominates every point of the
+// (non-empty) region in δ: p ≺_δ the region's min corner. The min corner is
+// the best point the region could hold; dominating it dominates everything
+// the region bounds.
+func PointDominatesRegion(p []float32, r Region, delta mask.Mask) bool {
+	return r.Min != nil && DominatesIn(p, r.Min, delta)
+}
+
+// RegionDominatesRegion reports whether every point of (non-empty) region a
+// dominates every point of region b in δ: a's max corner ≺_δ b's min
+// corner. This is the whole-shard skip test of the pruned distributed
+// gather — a partition whose entire region is dominated contributes nothing
+// to the global skyline.
+func RegionDominatesRegion(a, b Region, delta mask.Mask) bool {
+	return a.Max != nil && b.Min != nil && DominatesIn(a.Max, b.Min, delta)
+}

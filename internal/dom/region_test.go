@@ -1,0 +1,117 @@
+package dom
+
+import (
+	"testing"
+
+	"skycube/internal/mask"
+)
+
+func TestRegionOf(t *testing.T) {
+	pts := [][]float32{{1, 5, 3}, {2, 2, 9}, {0, 7, 4}}
+	r := RegionOf(pts)
+	wantMin := []float32{0, 2, 3}
+	wantMax := []float32{2, 7, 9}
+	for i := range wantMin {
+		if r.Min[i] != wantMin[i] || r.Max[i] != wantMax[i] {
+			t.Fatalf("corner dim %d: got [%v,%v], want [%v,%v]", i, r.Min[i], r.Max[i], wantMin[i], wantMax[i])
+		}
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("region %v does not contain its own point %v", r, p)
+		}
+	}
+	if RegionOf(nil).Min != nil {
+		t.Fatal("empty RegionOf should be the zero Region")
+	}
+}
+
+func TestRegionDominanceDirections(t *testing.T) {
+	// Region of two points bounded by min (1,1) and max (2,3).
+	r := RegionOf([][]float32{{1, 3}, {2, 1}})
+	full := mask.Mask(0b11)
+
+	// Max corner (2,3) dominates (5,5): every region point dominates it.
+	if !RegionDominatesPoint(r, []float32{5, 5}, full) {
+		t.Error("max corner (2,3) should dominate (5,5)")
+	}
+	// (3,2) is dominated by region point (2,1) but NOT by the max corner —
+	// the region test must stay conservative and say no.
+	if RegionDominatesPoint(r, []float32{3, 2}, full) {
+		t.Error("region must not claim dominance (2,3) ⊀ (3,2)")
+	}
+	// Point (0,0) dominates min corner (1,1): dominates every region point.
+	if !PointDominatesRegion([]float32{0, 0}, r, full) {
+		t.Error("(0,0) should dominate the whole region")
+	}
+	// (1.5, 0) does not dominate the min corner (1 < 1.5 on dim 0).
+	if PointDominatesRegion([]float32{1.5, 0}, r, full) {
+		t.Error("(1.5,0) must not dominate a region whose min corner is (1,1)")
+	}
+	// Subspace projection: on dim 1 alone, max corner 3 vs point (99, 3) is
+	// equal — no dominance under Definition 1.
+	if RegionDominatesPoint(r, []float32{99, 3}, mask.Bit(1)) {
+		t.Error("equal value on the only projected dim is not dominance")
+	}
+
+	// Region-vs-region: A = box of {(0,0),(1,1)}, B = box of {(2,2),(3,3)}.
+	a := RegionOf([][]float32{{0, 0}, {1, 1}})
+	b := RegionOf([][]float32{{2, 2}, {3, 3}})
+	if !RegionDominatesRegion(a, b, full) {
+		t.Error("A (max 1,1) should dominate B (min 2,2)")
+	}
+	if RegionDominatesRegion(b, a, full) {
+		t.Error("B must not dominate A")
+	}
+	// Overlapping boxes: no proof either way.
+	c := RegionOf([][]float32{{0.5, 0.5}, {2.5, 2.5}})
+	if RegionDominatesRegion(a, c, full) && RegionDominatesRegion(c, a, full) {
+		t.Error("overlapping regions cannot dominate each other both ways")
+	}
+
+	// The zero region proves nothing in any direction.
+	var zero Region
+	if RegionDominatesPoint(zero, []float32{9, 9}, full) ||
+		PointDominatesRegion([]float32{0, 0}, zero, full) ||
+		RegionDominatesRegion(zero, a, full) || RegionDominatesRegion(a, zero, full) {
+		t.Error("the zero Region must never witness dominance")
+	}
+}
+
+// TestRegionSoundnessBrute cross-checks the soundness contract on a fixed
+// grid: whenever the region test claims dominance, brute force over the
+// actual points must agree (the reverse — completeness — is not promised).
+func TestRegionSoundnessBrute(t *testing.T) {
+	setA := [][]float32{{0, 2, 1}, {1, 0, 2}, {2, 1, 0}}
+	setB := [][]float32{{3, 3, 3}, {4, 2.5, 5}, {2.5, 4, 4}}
+	ra, rb := RegionOf(setA), RegionOf(setB)
+	for delta := mask.Mask(1); delta < 1<<3; delta++ {
+		if RegionDominatesRegion(ra, rb, delta) {
+			for _, a := range setA {
+				for _, b := range setB {
+					if !DominatesIn(a, b, delta) {
+						t.Fatalf("δ=%b: region claim but %v ⊀ %v", delta, a, b)
+					}
+				}
+			}
+		}
+		for _, q := range setB {
+			if RegionDominatesPoint(ra, q, delta) {
+				for _, a := range setA {
+					if !DominatesIn(a, q, delta) {
+						t.Fatalf("δ=%b: corner claim but %v ⊀ %v", delta, a, q)
+					}
+				}
+			}
+		}
+		for _, p := range setA {
+			if PointDominatesRegion(p, rb, delta) {
+				for _, b := range setB {
+					if !DominatesIn(p, b, delta) {
+						t.Fatalf("δ=%b: min-corner claim but %v ⊀ %v", delta, p, b)
+					}
+				}
+			}
+		}
+	}
+}
