@@ -17,7 +17,7 @@ import (
 // with local rows mapped to global ids via -id-base/-id-stride.
 func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 	idBase, idStride int, withPprof bool, maxBody int64, cacheEntries int, noCache bool,
-	tracing traceOptions) {
+	tracing traceOptions, g *gatedServer) {
 	sh, err := cluster.NewShard(ds, opt, cluster.ShardOptions{
 		IDBase:       idBase,
 		IDStride:     idStride,
@@ -36,11 +36,15 @@ func runShardMode(addr string, ds *skycube.Dataset, opt skycube.Options,
 	}
 	defer sh.Close()
 	snap := sh.Updater().Current()
-	fmt.Printf("shard node over %d×%d (global ids %d + r·%d, epoch %d)\n",
-		ds.Len(), ds.Dims(), idBase, idStride, snap.Epoch())
+	fmt.Printf("shard node over %d×%d (global ids %d + r·%d, epoch %d, %d WAL records replayed)\n",
+		ds.Len(), ds.Dims(), idBase, idStride, snap.Epoch(), sh.Updater().Replayed())
 	mountPprof(sh.Server(), withPprof)
-	serveAndDrain(addr, sh,
-		"GET /shard/cuboid?subspace=N, /shard/info, /skyline, /healthz, /metrics; POST /insert, /delete, /flush")
+	endpoints := "GET /shard/cuboid?subspace=N, /shard/info, /skyline, /healthz, /metrics; POST /insert, /delete, /flush"
+	if g != nil {
+		g.openAndDrain(sh, endpoints)
+		return
+	}
+	serveAndDrain(addr, sh, endpoints)
 }
 
 // pruneOptions carry the -prune/-pre-filter-k/-pre-filter-min-shards flags.

@@ -116,6 +116,9 @@ func main() {
 	hedgeDelay := flag.Duration("hedge-delay", 0, "with -coordinator: delay before hedging a slow read to a second replica (0 = default 50ms, negative disables)")
 	cacheEntries := flag.Int("cache-entries", 0, "with -serve: LRU bound of the epoch-keyed response cache (0 = default 4096)")
 	noCache := flag.Bool("no-cache", false, "with -serve: disable response caching (the ETag/304 contract remains)")
+	dataDir := flag.String("data-dir", "", "with -updates/-shard: persist mutations to a write-ahead log and epoch snapshots in this directory, recovering from it on startup (empty = in-memory)")
+	fsyncPolicy := flag.String("fsync", "always", "with -data-dir: WAL fsync policy — always (group-committed per ack), interval (timer), never")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "with -data-dir: WAL records between background checkpoints (0 = default 4096, negative disables)")
 	traceSample := flag.Int("trace-sample", 0, "with -serve: trace one in N requests into /debug/requests (0 = only requests carrying a traceparent header)")
 	slowQuery := flag.Duration("slow-query", 0, "with -serve: log one structured line (with trace id) per request at least this slow (0 = off)")
 	debugRequests := flag.Int("debug-requests", 0, "with -serve: request-ring size behind GET /debug/requests (0 = off unless -trace-sample is set, then 256)")
@@ -204,7 +207,13 @@ func main() {
 			AutoCompact:     true,
 			CompactFraction: *compactFraction,
 		}
-		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing)
+		opt.Durable = durableOptions(*dataDir, *fsyncPolicy, *checkpointEvery)
+		// With a data directory, the listener starts before recovery: the
+		// gate answers 503 not-ready while the snapshot loads and the WAL
+		// tail replays, so probes and the coordinator see "recovering"
+		// rather than connection-refused.
+		g := maybeStartGated(*serve, *dataDir)
+		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing, g)
 		return
 	}
 
@@ -217,16 +226,18 @@ func main() {
 			AutoCompact:     true,
 			CompactFraction: *compactFraction,
 		}
-		up, err := skycube.NewUpdater(ds, opt)
+		opt.Durable = durableOptions(*dataDir, *fsyncPolicy, *checkpointEvery)
+		g := maybeStartGated(*serve, *dataDir)
+		up, err := skycube.NewUpdater(ds, opt) // recovery, when durable, happens here
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "skycubed:", err)
 			os.Exit(1)
 		}
 		defer up.Close()
 		snap := up.Current()
-		fmt.Printf("built maintainable %s skycube of %d×%d (%d stored ids, epoch %d)\n",
-			algo, ds.Len(), ds.Dims(), snap.IDCount(), snap.Epoch())
-		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing)
+		fmt.Printf("built maintainable %s skycube of %d×%d (%d stored ids, epoch %d, %d WAL records replayed)\n",
+			algo, ds.Len(), ds.Dims(), snap.IDCount(), snap.Epoch(), up.Replayed())
+		runUpdaterServer(*serve, up, opt, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing, g)
 		return
 	}
 
@@ -307,10 +318,54 @@ func runServer(addr string, cube skycube.Skycube, ds *skycube.Dataset,
 		"GET /info, /skyline?dims=0,2, /membership?id=17, /buildinfo, /metrics, /trace")
 }
 
+// durableOptions builds the persistence options the -data-dir/-fsync/
+// -checkpoint-every flags ask for (zero value when -data-dir is unset).
+func durableOptions(dir, fsync string, checkpointEvery int) skycube.DurableOptions {
+	if dir == "" {
+		return skycube.DurableOptions{}
+	}
+	return skycube.DurableOptions{
+		Dir:             dir,
+		Fsync:           fsync,
+		CheckpointEvery: checkpointEvery,
+		Logger:          log.New(os.Stderr, "skycubed: ", log.LstdFlags),
+	}
+}
+
+// gatedServer is a listener started before the node's state exists: the
+// startup gate answers 503 not-ready until openAndDrain installs the real
+// handler after recovery.
+type gatedServer struct {
+	gate    *server.StartupGate
+	httpSrv *http.Server
+	errCh   chan error
+}
+
+// maybeStartGated starts the gated listener when a data directory is
+// configured; nil otherwise (in-memory nodes build state before binding).
+func maybeStartGated(addr, dataDir string) *gatedServer {
+	if dataDir == "" {
+		return nil
+	}
+	g := &gatedServer{gate: server.NewStartupGate(), errCh: make(chan error, 1)}
+	g.httpSrv = &http.Server{Addr: addr, Handler: g.gate}
+	go func() { g.errCh <- g.httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on %s (503 not-ready until recovery completes)\n", addr)
+	return g
+}
+
+// openAndDrain installs the recovered handler on the gate and runs the
+// ordinary signal/drain loop on the already-listening server.
+func (g *gatedServer) openAndDrain(handler http.Handler, endpoints string) {
+	g.gate.Open(handler)
+	fmt.Printf("serving on %s (%s)\n", g.httpSrv.Addr, endpoints)
+	drainOnSignal(g.httpSrv, g.errCh)
+}
+
 // runUpdaterServer serves a maintainable skycube: snapshot reads plus the
 // mutation endpoints.
 func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, withPprof bool,
-	maxBody int64, cacheEntries int, noCache bool, tracing traceOptions) {
+	maxBody int64, cacheEntries int, noCache bool, tracing traceOptions, g *gatedServer) {
 	srv := server.NewWith(nil, nil, server.Options{
 		Updater:      up,
 		MaxBodyBytes: maxBody,
@@ -324,8 +379,12 @@ func runUpdaterServer(addr string, up *skycube.Updater, opt skycube.Options, wit
 		SlowQuery:    tracing.slowQuery,
 	})
 	mountPprof(srv, withPprof)
-	serveAndDrain(addr, srv,
-		"GET /info, /skyline?dims=0,2[&epoch=N], /membership?id=17, /updates; POST /insert, /delete, /flush, /compact")
+	endpoints := "GET /info, /skyline?dims=0,2[&epoch=N], /membership?id=17, /updates; POST /insert, /delete, /flush, /compact"
+	if g != nil {
+		g.openAndDrain(srv, endpoints)
+		return
+	}
+	serveAndDrain(addr, srv, endpoints)
 }
 
 func mountPprof(srv *server.Server, withPprof bool) {
@@ -351,13 +410,20 @@ func mountPprofMux(mux *http.ServeMux) {
 // in-flight requests for up to ten seconds.
 func serveAndDrain(addr string, handler http.Handler, endpoints string) {
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Printf("serving on %s (%s)\n", addr, endpoints)
+	drainOnSignal(httpSrv, errCh)
+}
+
+// drainOnSignal blocks until SIGINT/SIGTERM (or a listener error), then
+// drains in-flight requests for up to ten seconds. It returns — rather
+// than exits — on the clean path, so callers' deferred closers run:
+// that is what syncs and closes the WAL, making a SIGTERM stop lose zero
+// acknowledged writes.
+func drainOnSignal(httpSrv *http.Server, errCh chan error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"skycube"
+	"skycube/internal/server"
+)
+
+// TestCoordinatorTreatsRecoveringReplicaAsDown: a replica still behind its
+// startup gate answers 503 not-ready; the coordinator must fail over to
+// the healthy replica (the 503 feeds the breaker like any replica fault)
+// and keep serving correct skylines. Once the gate opens, the replica
+// serves again.
+func TestCoordinatorTreatsRecoveringReplicaAsDown(t *testing.T) {
+	ds := skycube.GenerateSynthetic(skycube.Independent, 120, 3, 61)
+	sh, err := NewShard(ds, skycube.Options{Threads: 2}, ShardOptions{IDBase: 0, IDStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	healthy := httptest.NewServer(sh)
+	defer healthy.Close()
+
+	// The recovering replica: a startup gate that nothing has opened yet —
+	// exactly what a node replaying its WAL serves.
+	gate := server.NewStartupGate()
+	recovering := httptest.NewServer(gate)
+	defer recovering.Close()
+
+	if resp, err := http.Get(recovering.URL + "/skyline?dims=0,1,2"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("recovering replica answered %d, want 503", resp.StatusCode)
+		}
+	}
+
+	coord, err := NewCoordinator([]ShardSpec{
+		{Replicas: []string{recovering.URL, healthy.URL}, IDBase: 0, IDStride: 1},
+	}, CoordinatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := sh.Updater().Current().Skyline(skycube.FullSpace(3))
+	query := func(label string) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/skyline?dims=0,1,2", nil)
+		rec := httptest.NewRecorder()
+		coord.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: coordinator status %d: %s", label, rec.Code, rec.Body.String())
+		}
+		var body struct {
+			IDs []int32 `json:"ids"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if !reflect.DeepEqual(body.IDs, want) {
+			t.Fatalf("%s: ids %v, want %v", label, body.IDs, want)
+		}
+	}
+	// Repeated queries during recovery must all fail over, not flap.
+	for i := 0; i < 3; i++ {
+		query("during recovery")
+	}
+
+	// Recovery completes: the gate opens onto a second shard over the same
+	// data, and the replica set is fully healthy again.
+	sh2, err := NewShard(ds, skycube.Options{Threads: 2}, ShardOptions{IDBase: 0, IDStride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	gate.Open(sh2)
+	if resp, err := http.Get(recovering.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("opened replica /healthz answered %d, want 200", resp.StatusCode)
+		}
+	}
+	query("after recovery")
+}

@@ -88,6 +88,34 @@ type Options struct {
 	Metrics *obs.DeltaMetrics
 }
 
+// Journal receives every accepted mutation and published epoch, in the
+// exact order the updater will replay them after a crash (internal/wal
+// implements it over an on-disk record log). Log* methods only append —
+// they must not block on durability — while Commit blocks until every
+// record appended so far is durable under the journal's sync policy.
+//
+// Ordering contract: LogInsert/LogDelete are called under the updater's
+// buffer lock, and LogEpoch for a flush is called at the drain point while
+// that same lock is held — so a mutation record sequenced before an epoch
+// marker is exactly a mutation that epoch applied, and one sequenced after
+// it is pending on the new epoch. Epoch markers are committed before the
+// snapshot is published, so a served epoch can never be lost to a crash.
+type Journal interface {
+	// LogInsert records an accepted insert: the id the updater assigned and
+	// the point, stamped with the epoch current when it was buffered.
+	LogInsert(epoch uint64, id int32, point []float32) error
+	// LogDelete records an accepted delete (or same-batch insert
+	// cancellation), stamped like LogInsert.
+	LogDelete(epoch uint64, id int32) error
+	// LogEpoch records an epoch advance — a flush (compact=false) applying
+	// every mutation logged so far, or a compaction (compact=true) folding
+	// the overlay — with the produced epoch and its live-point count.
+	LogEpoch(compact bool, epoch uint64, live int) error
+	// Commit blocks until all previously appended records are durable per
+	// the journal's configured fsync policy.
+	Commit() error
+}
+
 // Updater owns the mutable write side: it buffers inserts and deletes,
 // applies them as batches, and publishes immutable Snapshots. All write
 // methods are safe for concurrent use; reads go through Current/At and
@@ -138,6 +166,11 @@ type Updater struct {
 	closeOnce   sync.Once
 	wg          sync.WaitGroup
 	compactions int64
+
+	// journal, if non-nil, receives every accepted mutation and epoch
+	// advance (AttachJournal). Plain field: it is attached once, before the
+	// updater is shared across goroutines.
+	journal Journal
 }
 
 type pendingInsert struct {
@@ -178,10 +211,179 @@ func NewUpdater(ds *data.Dataset, opt Options) *Updater {
 	u.mu.Unlock()
 	opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
 	if opt.AutoCompact {
-		u.wg.Add(1)
-		go u.compactLoop()
+		u.StartAutoCompact()
 	}
 	return u
+}
+
+// PendingOp is one buffered (not yet flushed) insert in a RestoreState.
+type PendingOp struct {
+	ID int32
+	// Point is the insert's coordinates.
+	Point []float32
+	// Cancelled marks an insert deleted within its own unflushed batch.
+	Cancelled bool
+}
+
+// RestoreState is a consistent persistence image of an updater: the
+// applied logical dataset at one epoch plus the buffered mutations that
+// were pending when it was captured. CaptureState produces it and
+// NewUpdaterFrom reconstructs an equivalent updater from it — the skycube
+// itself is not serialized; it is rebuilt deterministically over the live
+// points, exactly like a compaction at the captured epoch.
+type RestoreState struct {
+	Dims  int
+	Epoch uint64
+	// Live is the live-point count at Epoch, used to verify the rebuild.
+	Live int
+	// Vals is the full logical dataset, row i = point id i, dead rows
+	// included; NextID is len(Vals)/Dims plus the pending inserts.
+	Vals []float32
+	// Dead lists every dead id (deletes and cancelled inserts), ascending.
+	Dead []int32
+	// PendingInserts/PendingDeletes are the buffered batch at capture, in
+	// buffer order.
+	PendingInserts []PendingOp
+	PendingDeletes []int32
+}
+
+// CaptureState returns a consistent RestoreState of the updater and, at
+// the exact capture point — while both the apply lock and the buffer lock
+// are held, so no journal record can be sequenced concurrently — calls
+// rotate with the captured epoch (the WAL uses it to switch segments, so
+// "records after the snapshot" is an exact boundary). The value slices
+// alias the updater's append-only backing arrays and stay valid forever.
+func (u *Updater) CaptureState(rotate func(epoch uint64) error) (RestoreState, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.pendMu.Lock()
+	defer u.pendMu.Unlock()
+	snap := u.cur.Load()
+	nv := u.n * u.d
+	st := RestoreState{
+		Dims:  u.d,
+		Epoch: snap.epoch,
+		Live:  snap.live,
+		Vals:  u.vals[:nv:nv],
+		Dead:  make([]int32, 0, len(u.dead)),
+	}
+	for id := range u.dead {
+		st.Dead = append(st.Dead, id)
+	}
+	sort.Slice(st.Dead, func(a, b int) bool { return st.Dead[a] < st.Dead[b] })
+	if len(u.pendInserts) > 0 {
+		st.PendingInserts = make([]PendingOp, len(u.pendInserts))
+		for i, pi := range u.pendInserts {
+			st.PendingInserts[i] = PendingOp{ID: pi.id, Point: pi.point, Cancelled: pi.cancelled}
+		}
+	}
+	if len(u.pendDeleted) > 0 {
+		st.PendingDeletes = make([]int32, 0, len(u.pendDeleted))
+		for id := range u.pendDeleted {
+			st.PendingDeletes = append(st.PendingDeletes, id)
+		}
+		sort.Slice(st.PendingDeletes, func(a, b int) bool {
+			return st.PendingDeletes[a] < st.PendingDeletes[b]
+		})
+	}
+	if rotate != nil {
+		if err := rotate(st.Epoch); err != nil {
+			return RestoreState{}, err
+		}
+	}
+	return st, nil
+}
+
+// NewUpdaterFrom reconstructs an updater from a RestoreState: a full build
+// over the state's live points published at the state's epoch (exactly a
+// compaction of the pre-crash updater, which serves identical query
+// results), with the pending batch re-buffered. It verifies the rebuilt
+// live count against the state and fails rather than serve a diverged
+// cube. The background compactor is NOT started even when opt.AutoCompact
+// is set — WAL replay must drive every epoch advance itself — call
+// StartAutoCompact once replay is complete.
+func NewUpdaterFrom(st RestoreState, opt Options) (*Updater, error) {
+	if st.Dims <= 0 {
+		return nil, fmt.Errorf("delta: restore state has %d dims", st.Dims)
+	}
+	if len(st.Vals)%st.Dims != 0 {
+		return nil, fmt.Errorf("delta: restore state has %d values, not a multiple of %d dims",
+			len(st.Vals), st.Dims)
+	}
+	if st.Epoch == 0 {
+		return nil, fmt.Errorf("delta: restore state has epoch 0")
+	}
+	n := len(st.Vals) / st.Dims
+	threads := opt.Threads
+	if threads < 1 {
+		threads = runtime.NumCPU()
+	}
+	u := &Updater{
+		d:           st.Dims,
+		threads:     threads,
+		opt:         opt,
+		vals:        append([]float32(nil), st.Vals...),
+		ids:         make([]int32, n),
+		n:           n,
+		dead:        make(map[int32]struct{}, len(st.Dead)),
+		pendDeleted: make(map[int32]struct{}, len(st.PendingDeletes)),
+		nextID:      int32(n),
+		compactCh:   make(chan struct{}, 1),
+		closed:      make(chan struct{}),
+	}
+	for i := range u.ids {
+		u.ids[i] = int32(i)
+	}
+	for _, id := range st.Dead {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("delta: restore state dead id %d out of range [0,%d)", id, n)
+		}
+		u.dead[id] = struct{}{}
+	}
+	for _, op := range st.PendingInserts {
+		if len(op.Point) != st.Dims {
+			return nil, fmt.Errorf("delta: restore state pending insert %d has %d dims, want %d",
+				op.ID, len(op.Point), st.Dims)
+		}
+		if op.ID != u.nextID {
+			return nil, fmt.Errorf("delta: restore state pending insert id %d, want %d", op.ID, u.nextID)
+		}
+		u.nextID++
+		u.pendInserts = append(u.pendInserts, pendingInsert{
+			id: op.ID, point: append([]float32(nil), op.Point...), cancelled: op.Cancelled,
+		})
+	}
+	for _, id := range st.PendingDeletes {
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("delta: restore state pending delete %d out of range [0,%d)", id, n)
+		}
+		u.pendDeleted[id] = struct{}{}
+	}
+	u.mu.Lock()
+	snap := u.buildBaseLocked(st.Epoch)
+	if snap.live != st.Live {
+		u.mu.Unlock()
+		return nil, fmt.Errorf("delta: restored build has %d live points at epoch %d, checkpoint recorded %d",
+			snap.live, st.Epoch, st.Live)
+	}
+	u.publish(snap)
+	u.mu.Unlock()
+	opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
+	return u, nil
+}
+
+// AttachJournal wires a journal into the updater. It must be called before
+// the updater is shared across goroutines (i.e. before serving), and after
+// any WAL replay — replayed mutations must not be re-journaled.
+func (u *Updater) AttachJournal(j Journal) { u.journal = j }
+
+// StartAutoCompact starts the background compactor goroutine (idempotent
+// callers beware: call at most once). NewUpdater calls it itself when
+// Options.AutoCompact is set; NewUpdaterFrom defers it to the caller so
+// WAL replay is the only writer during recovery.
+func (u *Updater) StartAutoCompact() {
+	u.wg.Add(1)
+	go u.compactLoop()
 }
 
 // Close stops the background compactor. The current snapshot stays valid.
@@ -221,6 +423,13 @@ func (u *Updater) Insert(point []float32) (int32, error) {
 	id := u.nextID
 	u.nextID++
 	u.pendInserts = append(u.pendInserts, pendingInsert{id: id, point: cp})
+	if u.journal != nil {
+		if err := u.journal.LogInsert(u.cur.Load().epoch, id, cp); err != nil {
+			u.pendInserts = u.pendInserts[:len(u.pendInserts)-1]
+			u.nextID--
+			return 0, fmt.Errorf("delta: journal insert: %w", err)
+		}
+	}
 	return id, nil
 }
 
@@ -248,13 +457,31 @@ func (u *Updater) Delete(id int32) error {
 				if u.pendInserts[i].cancelled {
 					return fmt.Errorf("delta: id %d already deleted", id)
 				}
+				if err := u.logDelete(id); err != nil {
+					return err
+				}
 				u.pendInserts[i].cancelled = true
 				return nil
 			}
 		}
 		return fmt.Errorf("delta: unknown id %d", id)
 	}
+	if err := u.logDelete(id); err != nil {
+		return err
+	}
 	u.pendDeleted[id] = struct{}{}
+	return nil
+}
+
+// logDelete journals an accepted delete. Caller holds mu and pendMu and has
+// validated the id; the buffer is only mutated if journaling succeeded.
+func (u *Updater) logDelete(id int32) error {
+	if u.journal == nil {
+		return nil
+	}
+	if err := u.journal.LogDelete(u.cur.Load().epoch, id); err != nil {
+		return fmt.Errorf("delta: journal delete: %w", err)
+	}
 	return nil
 }
 
@@ -286,6 +513,14 @@ func (u *Updater) Compact() *Snapshot {
 	start := time.Now()
 	prev := u.cur.Load()
 	snap := u.buildBaseLocked(prev.epoch + 1)
+	// As in applyLocked: the marker is journaled and committed before the
+	// epoch is published. Compaction does not drain the pending buffer, so
+	// mutation records racing past this marker correctly stay pending.
+	if u.journal != nil {
+		if err := u.journal.LogEpoch(true, snap.epoch, snap.live); err == nil {
+			_ = u.journal.Commit()
+		}
+	}
 	u.publish(snap)
 	u.mu.Unlock()
 	atomic.AddInt64(&u.compactions, 1)
@@ -425,16 +660,35 @@ func (u *Updater) buildBaseLocked(epoch uint64) *Snapshot {
 // the cuboids the victims were members of — over the final live set, so
 // the overrides are exact at the new epoch. Caller holds u.mu.
 func (u *Updater) applyLocked() *Snapshot {
+	prev := u.cur.Load()
 	u.pendMu.Lock()
 	inserts := u.pendInserts
 	deleted := u.pendDeleted
+	if len(inserts) == 0 && len(deleted) == 0 {
+		u.pendMu.Unlock()
+		return prev
+	}
+	// Journal the flush marker at the drain point, while pendMu is still
+	// held: the records sequenced before this marker are exactly the
+	// mutations this epoch applies (an insert racing this flush lands after
+	// the marker and stays pending on replay). On journal failure the batch
+	// is left buffered and the flush is a no-op — the durable-commit at the
+	// serving layer's ack point surfaces the same error to the client.
+	if u.journal != nil {
+		liveIns := 0
+		for _, pi := range inserts {
+			if !pi.cancelled {
+				liveIns++
+			}
+		}
+		if err := u.journal.LogEpoch(false, prev.epoch+1, prev.live+liveIns-len(deleted)); err != nil {
+			u.pendMu.Unlock()
+			return prev
+		}
+	}
 	u.pendInserts = nil
 	u.pendDeleted = make(map[int32]struct{})
 	u.pendMu.Unlock()
-	prev := u.cur.Load()
-	if len(inserts) == 0 && len(deleted) == 0 {
-		return prev
-	}
 	start := time.Now()
 	total := mask.NumSubspaces(u.d)
 
@@ -672,6 +926,14 @@ func (u *Updater) applyLocked() *Snapshot {
 		base: prev.base, tomb: tomb, added: added, patched: patched,
 		cuboids: cuboids, live: prev.live + len(lives) - len(victims),
 	}
+	// Commit the epoch marker before publishing: once an epoch is served it
+	// must survive a crash, or recovery could reuse the number for different
+	// content and poison epoch-keyed caches. A commit failure still
+	// publishes (writer state is already mutated); the serving layer's ack
+	// commit reports the durability loss to the client.
+	if u.journal != nil {
+		_ = u.journal.Commit()
+	}
 	u.publish(snap)
 	u.opt.Metrics.Batch(len(lives), len(victims), len(affected), time.Since(start))
 	u.opt.Metrics.Epoch(snap.epoch, snap.live, snap.OverlaySize())
@@ -741,23 +1003,29 @@ func (u *Updater) publish(snap *Snapshot) {
 	u.histMu.Unlock()
 }
 
-func (u *Updater) maybeCompact(snap *Snapshot) {
+// needsCompact reports whether the snapshot's overlay has crossed the
+// auto-compaction trigger.
+func (u *Updater) needsCompact(snap *Snapshot) bool {
 	if !u.opt.AutoCompact {
-		return
+		return false
 	}
 	frac := u.opt.CompactFraction
 	if frac == 0 {
 		frac = DefaultCompactFraction
 	}
 	if frac < 0 {
-		return
+		return false
 	}
 	floor := u.opt.MinCompactOverlay
 	if floor == 0 {
 		floor = DefaultMinCompactOverlay
 	}
 	ov := snap.OverlaySize()
-	if ov < floor || float64(ov) < frac*float64(snap.base.points) {
+	return ov >= floor && float64(ov) >= frac*float64(snap.base.points)
+}
+
+func (u *Updater) maybeCompact(snap *Snapshot) {
+	if !u.needsCompact(snap) {
 		return
 	}
 	select {
@@ -773,7 +1041,14 @@ func (u *Updater) compactLoop() {
 		case <-u.closed:
 			return
 		case <-u.compactCh:
-			u.Compact()
+			// The signal can be stale: an explicit Compact — or WAL replay
+			// of one, which runs before this loop starts — may have folded
+			// the overlay after the signal was queued. Compacting again
+			// would advance the epoch with nothing to fold, so a restart
+			// would not recover to the pre-crash epoch.
+			if u.needsCompact(u.Current()) {
+				u.Compact()
+			}
 		}
 	}
 }

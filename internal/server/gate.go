@@ -1,0 +1,41 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// StartupGate lets a node accept TCP connections while crash recovery is
+// still replaying the WAL: every request answers 503 not-ready until
+// Open hands it the real handler. Probes and the cluster coordinator see
+// a live-but-unready replica (and breaker around it) instead of
+// connection-refused — the difference between "recovering" and "gone".
+//
+// The zero value is not usable; call NewStartupGate. Open may be called
+// at most once; requests racing it serve either response consistently.
+type StartupGate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewStartupGate returns a gate with no handler: all requests 503.
+func NewStartupGate() *StartupGate { return &StartupGate{} }
+
+// Open installs the recovered handler; all subsequent requests route to
+// it.
+func (g *StartupGate) Open(h http.Handler) { g.h.Store(&h) }
+
+// Ready reports whether Open has been called.
+func (g *StartupGate) Ready() bool { return g.h.Load() != nil }
+
+// ServeHTTP implements http.Handler.
+func (g *StartupGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	io.WriteString(w, `{"status":"recovering","ready":false}`+"\n")
+}

@@ -65,6 +65,7 @@ import (
 	"skycube"
 	"skycube/internal/obs"
 	"skycube/internal/rcache"
+	"skycube/internal/wal"
 )
 
 // BuildInfo describes how the served skycube was constructed; it is the
@@ -166,6 +167,11 @@ type Server struct {
 	batchMu    sync.Mutex
 	batchResp  map[string]batchReply
 	batchOrder []string
+
+	// wal is the updater's durability subsystem (nil when in-memory):
+	// mutation acks block on wal.Commit, and remembered batch replies are
+	// journaled so idempotent-retry dedup survives restarts.
+	wal *wal.Store
 }
 
 // batchReply is a remembered /insert outcome, replayed verbatim (status
@@ -224,8 +230,29 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 		s.mux.HandleFunc("/flush", s.handleFlush)
 		s.mux.HandleFunc("/compact", s.handleCompact)
 		s.mux.HandleFunc("/updates", s.handleUpdates)
+		if st := opt.Updater.Store(); st != nil {
+			// Durable updater: acks commit the WAL, and the batch replay
+			// cache is seeded with the replies recovery carried over — a
+			// client retrying a pre-crash batch replays instead of
+			// double-applying.
+			s.wal = st
+			for id, rep := range st.RememberedBatches() {
+				s.rememberBatch(id, batchReply{status: rep.Status, body: rep.Body})
+			}
+		}
 	}
 	return s
+}
+
+// durableCommit blocks until every journaled record is durable under the
+// WAL's fsync policy; a no-op for in-memory updaters. Mutation handlers
+// call it at the acknowledgement point, so one fsync group-commits a whole
+// request.
+func (s *Server) durableCommit() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Commit()
 }
 
 // Handle mounts an extra handler on the server's mux (e.g. pprof).
@@ -772,25 +799,54 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rep := batchReply{status: http.StatusOK, body: buf.Bytes()}
+		if err := s.persistBatch(req.Batch, rep); err != nil {
+			// The inserts are buffered but not durably acknowledged.
+			// Remember the failure under the batch id so a retry replays
+			// this 500 instead of double-applying the points.
+			rep = batchReply{status: http.StatusInternalServerError,
+				body: []byte("durability failure: " + err.Error())}
+		}
 		s.rememberBatch(req.Batch, rep)
 		s.replayBatch(w, rep)
+		return
+	}
+	if err := s.durableCommit(); err != nil {
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, resp)
 }
 
 // rememberBatch stores a batch outcome for replay, evicting the oldest
-// entries beyond the cap. The caller holds batchMu.
+// entries beyond the cap. The caller holds batchMu (or is still inside
+// single-threaded construction). In-memory only: journaling a new outcome
+// is the insert handler's job, so recovery-seeded replies are not
+// re-journaled.
 func (s *Server) rememberBatch(id string, rep batchReply) {
 	if s.batchResp == nil {
 		s.batchResp = make(map[string]batchReply)
 	}
+	if _, known := s.batchResp[id]; !known {
+		s.batchOrder = append(s.batchOrder, id)
+	}
 	s.batchResp[id] = rep
-	s.batchOrder = append(s.batchOrder, id)
 	for len(s.batchOrder) > maxRememberedBatches {
 		delete(s.batchResp, s.batchOrder[0])
 		s.batchOrder = s.batchOrder[1:]
 	}
+}
+
+// persistBatch journals a fresh batch outcome and commits the WAL — the
+// durability point of an acknowledged idempotent insert. No-op when
+// in-memory.
+func (s *Server) persistBatch(id string, rep batchReply) error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.LogBatch(id, rep.status, rep.body); err != nil {
+		return err
+	}
+	return s.wal.Commit()
 }
 
 // replayBatch writes a remembered batch outcome.
@@ -833,6 +889,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := s.durableCommit(); err != nil {
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	ins, del := s.opt.Updater.Pending()
 	writeJSON(w, deleteResponse{Deleted: len(req.IDs), PendingInserts: ins, PendingDeletes: del})
 }
@@ -850,6 +910,12 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.opt.Updater.Flush()
+	// The epoch marker was committed before the snapshot was published;
+	// this surfaces any durability failure that commit swallowed.
+	if err := s.durableCommit(); err != nil {
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, epochResponse{Epoch: snap.Epoch(), Live: snap.Live(), Overlay: s.opt.Updater.Stats().Overlay})
 }
 
@@ -863,6 +929,10 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 	snap := s.opt.Updater.Compact()
+	if err := s.durableCommit(); err != nil {
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, epochResponse{Epoch: snap.Epoch(), Live: snap.Live(), Overlay: s.opt.Updater.Stats().Overlay})
 }
 

@@ -1,0 +1,120 @@
+package wal_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"skycube/internal/delta"
+	"skycube/internal/gen"
+	"skycube/internal/wal"
+)
+
+// BenchmarkWALAppend measures the append path alone — encode, frame,
+// buffered write — with no fsync in the loop (the commit cost is the
+// policy's, measured separately below).
+func BenchmarkWALAppend(b *testing.B) {
+	s, _, err := wal.Open(wal.Options{Dir: b.TempDir(), Fsync: wal.FsyncNever, CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	point := []float32{0.1, 0.2, 0.3, 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.LogInsert(1, int32(i), point); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWALCommit measures one append + Commit round per iteration
+// under each fsync policy: "always" pays a (group-committed) fsync,
+// "interval" and "never" only a buffer flush.
+func BenchmarkWALCommit(b *testing.B) {
+	for _, policy := range []string{wal.FsyncAlways, wal.FsyncInterval, wal.FsyncNever} {
+		b.Run(policy, func(b *testing.B) {
+			s, _, err := wal.Open(wal.Options{
+				Dir: b.TempDir(), Fsync: policy,
+				SyncInterval: time.Second, CheckpointEvery: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			point := []float32{0.1, 0.2, 0.3, 0.4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.LogInsert(1, int32(i), point); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures Open + NewUpdaterFrom + Replay over a
+// directory with one checkpoint and a tail of insert/flush records.
+func BenchmarkRecovery(b *testing.B) {
+	for _, tail := range []int{64, 512} {
+		b.Run(fmt.Sprintf("tail=%d", tail), func(b *testing.B) {
+			dir := b.TempDir()
+			ds := gen.Synthetic(gen.Independent, 200, 4, 1)
+			dopt := delta.Options{Threads: 2}
+			wopt := wal.Options{Dir: dir, Fsync: wal.FsyncNever, CheckpointEvery: -1}
+			s, _, err := wal.Open(wopt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u, err := delta.NewUpdaterFrom(delta.RestoreState{
+				Dims: ds.Dims, Epoch: 1, Live: ds.N, Vals: ds.Vals[:ds.N*ds.Dims],
+			}, dopt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Checkpoint(u); err != nil {
+				b.Fatal(err)
+			}
+			u.AttachJournal(s)
+			s.AttachUpdater(u)
+			extra := gen.Synthetic(gen.Independent, tail, 4, 2)
+			for i := 0; i < extra.N; i++ {
+				if _, err := u.Insert(extra.Point(i)); err != nil {
+					b.Fatal(err)
+				}
+				if i%32 == 31 {
+					u.Flush()
+				}
+			}
+			u.Flush()
+			u.Close()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s2, rec, err := wal.Open(wopt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				u2, err := delta.NewUpdaterFrom(rec.State, dopt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s2.Replay(u2); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				u2.Close()
+				s2.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}

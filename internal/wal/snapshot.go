@@ -1,0 +1,261 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"skycube/internal/delta"
+)
+
+// writeSnapshotFile serializes a checkpoint — the captured updater state
+// plus the batch-reply mirror — to path, fsyncs it, and returns its size.
+// The whole file is covered by a trailing CRC32C; a snapshot that fails
+// that check is ignored by recovery in favour of an older one.
+//
+// Layout (little-endian): magic "SKYSNP01", u64 tail segment seq, u64
+// epoch, u32 dims, u64 live, u64 len(vals) + vals, u32 dead count + ids,
+// u32 pending-insert count + (id, cancelled, point) each, u32
+// pending-delete count + ids, u32 batch count + (id, status, body) each,
+// u32 CRC.
+func writeSnapshotFile(path string, tailSeq uint64, st delta.RestoreState,
+	batches map[string]BatchReply, batchOrder []string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	w := &crcWriter{w: bufio.NewWriterSize(f, 1<<16)}
+
+	w.bytes([]byte(snapMagic))
+	w.u64(tailSeq)
+	w.u64(st.Epoch)
+	w.u32(uint32(st.Dims))
+	w.u64(uint64(st.Live))
+	w.u64(uint64(len(st.Vals)))
+	for _, v := range st.Vals {
+		w.u32(math.Float32bits(v))
+	}
+	w.u32(uint32(len(st.Dead)))
+	for _, id := range st.Dead {
+		w.u32(uint32(id))
+	}
+	w.u32(uint32(len(st.PendingInserts)))
+	for _, op := range st.PendingInserts {
+		w.u32(uint32(op.ID))
+		c := byte(0)
+		if op.Cancelled {
+			c = 1
+		}
+		w.bytes([]byte{c})
+		for _, v := range op.Point {
+			w.u32(math.Float32bits(v))
+		}
+	}
+	w.u32(uint32(len(st.PendingDeletes)))
+	for _, id := range st.PendingDeletes {
+		w.u32(uint32(id))
+	}
+	// Batches in remembered order, so eviction order survives restarts.
+	w.u32(uint32(len(batchOrder)))
+	for _, id := range batchOrder {
+		rep := batches[id]
+		w.u16(uint16(len(id)))
+		w.bytes([]byte(id))
+		w.u32(uint32(rep.Status))
+		w.u32(uint32(len(rep.Body)))
+		w.bytes(rep.Body)
+	}
+	sum := w.crc
+	w.u32(sum)
+
+	if w.err != nil {
+		f.Close()
+		return 0, w.err
+	}
+	if err := w.w.(*bufio.Writer).Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return w.n, nil
+}
+
+// crcWriter tracks a running CRC32C and byte count over the written
+// stream, latching the first error.
+type crcWriter struct {
+	w   interface{ Write([]byte) (int, error) }
+	crc uint32
+	n   int64
+	err error
+}
+
+func (c *crcWriter) bytes(b []byte) {
+	if c.err != nil {
+		return
+	}
+	c.crc = crc32.Update(c.crc, castagnoli, b)
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+}
+
+func (c *crcWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *crcWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	c.bytes(b[:])
+}
+
+func (c *crcWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	c.bytes(b[:])
+}
+
+// snapshotData is a decoded checkpoint file.
+type snapshotData struct {
+	tailSeq    uint64
+	state      delta.RestoreState
+	batches    map[string]BatchReply
+	batchOrder []string
+}
+
+// readSnapshotFile loads and verifies one checkpoint file. Any framing,
+// bounds or CRC problem is an error — the caller falls back to an older
+// snapshot or fails recovery.
+func readSnapshotFile(path string) (*snapshotData, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(snapMagic)+4 || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("wal: %s: not a snapshot file", path)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(trailer) {
+		return nil, fmt.Errorf("wal: %s: snapshot CRC mismatch", path)
+	}
+	r := &byteReader{b: body[len(snapMagic):]}
+	sd := &snapshotData{batches: make(map[string]BatchReply)}
+	sd.tailSeq = r.u64()
+	sd.state.Epoch = r.u64()
+	sd.state.Dims = int(r.u32())
+	sd.state.Live = int(r.u64())
+	if r.err == nil && (sd.state.Dims <= 0 || sd.state.Dims > math.MaxUint16) {
+		return nil, fmt.Errorf("wal: %s: snapshot has %d dims", path, sd.state.Dims)
+	}
+	nVals := int(r.u64())
+	if r.err == nil && (nVals < 0 || nVals > len(r.b)/4+1) {
+		return nil, fmt.Errorf("wal: %s: snapshot declares %d values", path, nVals)
+	}
+	if r.err == nil {
+		sd.state.Vals = make([]float32, nVals)
+		for i := range sd.state.Vals {
+			sd.state.Vals[i] = math.Float32frombits(r.u32())
+		}
+	}
+	nDead := int(r.u32())
+	if r.err == nil && nDead >= 0 && nDead <= len(r.b)/4+1 {
+		sd.state.Dead = make([]int32, nDead)
+		for i := range sd.state.Dead {
+			sd.state.Dead[i] = int32(r.u32())
+		}
+	}
+	nPI := int(r.u32())
+	for i := 0; i < nPI && r.err == nil; i++ {
+		op := delta.PendingOp{ID: int32(r.u32())}
+		op.Cancelled = r.u8() != 0
+		op.Point = make([]float32, sd.state.Dims)
+		for j := range op.Point {
+			op.Point[j] = math.Float32frombits(r.u32())
+		}
+		sd.state.PendingInserts = append(sd.state.PendingInserts, op)
+	}
+	nPD := int(r.u32())
+	for i := 0; i < nPD && r.err == nil; i++ {
+		sd.state.PendingDeletes = append(sd.state.PendingDeletes, int32(r.u32()))
+	}
+	nB := int(r.u32())
+	for i := 0; i < nB && r.err == nil; i++ {
+		id := string(r.take(int(r.u16())))
+		status := int(r.u32())
+		rbody := append([]byte(nil), r.take(int(r.u32()))...)
+		if r.err == nil {
+			sd.batches[id] = BatchReply{Status: status, Body: rbody}
+			sd.batchOrder = append(sd.batchOrder, id)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wal: %s: %v", path, r.err)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("wal: %s: %d trailing bytes", path, len(r.b))
+	}
+	return sd, nil
+}
+
+// byteReader consumes little-endian fields from a byte slice, latching the
+// first out-of-bounds read as an error.
+type byteReader struct {
+	b   []byte
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.b) {
+		r.err = fmt.Errorf("truncated snapshot (want %d bytes, have %d)", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *byteReader) u8() byte {
+	b := r.take(1)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *byteReader) u16() uint16 {
+	b := r.take(2)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *byteReader) u32() uint32 {
+	b := r.take(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.take(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -167,6 +167,12 @@ type Options struct {
 	// Delta tunes incremental maintenance (NewUpdater): snapshot history
 	// depth and the background-compaction trigger. Ignored by Build.
 	Delta DeltaOptions
+	// Durable persists incremental maintenance (NewUpdater) to disk: a
+	// write-ahead log of every accepted mutation plus epoch-snapshot
+	// checkpoints under Durable.Dir, with crash recovery on startup. The
+	// zero value (no Dir) keeps the updater purely in-memory. Ignored by
+	// Build.
+	Durable DurableOptions
 }
 
 // Scheduling configures the adaptive cross-device scheduler (the zero value

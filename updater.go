@@ -2,11 +2,38 @@ package skycube
 
 import (
 	"fmt"
+	"log"
+	"time"
 
 	"skycube/internal/delta"
 	"skycube/internal/hetero"
 	"skycube/internal/obs"
+	"skycube/internal/wal"
 )
+
+// DurableOptions configure on-disk persistence of a maintained skycube
+// (Options.Durable). Setting Dir turns it on: every accepted mutation is
+// journaled to a write-ahead log before it is acknowledged, epoch-snapshot
+// checkpoints bound the log, and NewUpdater recovers the exact pre-crash
+// state from disk before returning.
+type DurableOptions struct {
+	// Dir is the node's data directory (created if absent). Empty disables
+	// persistence entirely.
+	Dir string
+	// Fsync is the WAL durability policy: "always" (default — acknowledged
+	// writes survive power loss, group-committed), "interval" (fsync on a
+	// timer; a crash loses at most one interval), or "never" (the OS
+	// decides; a clean shutdown still loses nothing).
+	Fsync string
+	// SyncInterval is the "interval" policy's period; 0 means 100ms.
+	SyncInterval time.Duration
+	// CheckpointEvery triggers a background checkpoint after this many WAL
+	// records; 0 means 4096, negative disables auto-checkpointing.
+	CheckpointEvery int
+	// Logger, if non-nil, logs recovery progress, checkpoints and
+	// torn-tail warnings.
+	Logger *log.Logger
+}
 
 // DeltaOptions configure incremental skycube maintenance (Options.Delta).
 // The zero value is a sensible default: compaction at a 25% overlay
@@ -58,6 +85,11 @@ type UpdaterStats = delta.Stats
 // for concurrent use.
 type Updater struct {
 	u *delta.Updater
+	// store is the durability subsystem; nil for in-memory updaters.
+	store *wal.Store
+	// replayed is how many WAL records recovery replayed (0 on a fresh or
+	// in-memory start).
+	replayed int
 }
 
 // NewUpdater builds the initial skycube over ds (epoch 1) and returns an
@@ -83,7 +115,7 @@ func NewUpdater(ds *Dataset, opt Options) (*Updater, error) {
 	if len(opt.GPUs) > 0 {
 		devices, _ = buildDevices(opt, threads)
 	}
-	u := delta.NewUpdater(ds.ds, delta.Options{
+	dopt := delta.Options{
 		Threads:           threads,
 		Devices:           devices,
 		CompactFraction:   opt.Delta.CompactFraction,
@@ -91,8 +123,75 @@ func NewUpdater(ds *Dataset, opt Options) (*Updater, error) {
 		History:           opt.Delta.History,
 		MinCompactOverlay: opt.Delta.MinCompactOverlay,
 		Metrics:           obs.NewDeltaMetrics(opt.Metrics),
+	}
+	if opt.Durable.Dir == "" {
+		return &Updater{u: delta.NewUpdater(ds.ds, dopt)}, nil
+	}
+	return newDurableUpdater(ds, opt, dopt)
+}
+
+// newDurableUpdater opens the data directory and either bootstraps it (a
+// fresh initial build plus the first checkpoint) or recovers: rebuild at
+// the newest valid checkpoint's epoch, replay the WAL tail through the
+// ordinary mutation path, and verify the recovered epoch and live count —
+// all before any caller can see the updater, so a recovering node serves
+// nothing stale.
+func newDurableUpdater(ds *Dataset, opt Options, dopt delta.Options) (*Updater, error) {
+	store, rec, err := wal.Open(wal.Options{
+		Dir:             opt.Durable.Dir,
+		Fsync:           opt.Durable.Fsync,
+		SyncInterval:    opt.Durable.SyncInterval,
+		CheckpointEvery: opt.Durable.CheckpointEvery,
+		Metrics:         obs.NewWALMetrics(opt.Metrics),
+		Logger:          opt.Durable.Logger,
 	})
-	return &Updater{u: u}, nil
+	if err != nil {
+		return nil, fmt.Errorf("skycube: %w", err)
+	}
+	fail := func(err error) (*Updater, error) {
+		store.Close()
+		return nil, err
+	}
+	// Both paths construct through NewUpdaterFrom, which — unlike
+	// delta.NewUpdater — never starts the background compactor itself:
+	// during replay, the WAL must drive every epoch advance.
+	var du *delta.Updater
+	replayed := 0
+	if rec == nil {
+		d := ds.ds.Dims
+		du, err = delta.NewUpdaterFrom(delta.RestoreState{
+			Dims:  d,
+			Epoch: 1,
+			Live:  ds.ds.N,
+			Vals:  ds.ds.Vals[:ds.ds.N*d],
+		}, dopt)
+		if err != nil {
+			return fail(fmt.Errorf("skycube: initial build: %w", err))
+		}
+		// The initial checkpoint makes the directory self-contained: from
+		// here on, recovery never needs the original dataset file.
+		if err := store.Checkpoint(du); err != nil {
+			du.Close()
+			return fail(fmt.Errorf("skycube: initial checkpoint: %w", err))
+		}
+	} else {
+		du, err = delta.NewUpdaterFrom(rec.State, dopt)
+		if err != nil {
+			return fail(fmt.Errorf("skycube: recovery: %w", err))
+		}
+		if replayed, err = store.Replay(du); err != nil {
+			du.Close()
+			return fail(fmt.Errorf("skycube: recovery: %w", err))
+		}
+	}
+	// Only now: journal new mutations, accept auto-checkpoints, and start
+	// the background compactor (replay is done; its epochs are accounted).
+	du.AttachJournal(store)
+	store.AttachUpdater(du)
+	if dopt.AutoCompact {
+		du.StartAutoCompact()
+	}
+	return &Updater{u: du, store: store, replayed: replayed}, nil
 }
 
 // Insert buffers one point for the next batch and returns its assigned id.
@@ -131,6 +230,21 @@ func (up *Updater) At(epoch uint64) (Snapshot, bool) {
 // Stats returns current maintenance counters.
 func (up *Updater) Stats() UpdaterStats { return up.u.Stats() }
 
-// Close stops the background compactor, if any. Published snapshots stay
-// valid after Close.
-func (up *Updater) Close() { up.u.Close() }
+// Store exposes the durability subsystem backing this updater — nil for
+// in-memory updaters. The serving layer uses it to commit the WAL at
+// acknowledgement points and to persist idempotent-batch replies.
+func (up *Updater) Store() *wal.Store { return up.store }
+
+// Replayed reports how many WAL records crash recovery replayed when this
+// updater was opened (0 on a fresh or in-memory start).
+func (up *Updater) Replayed() int { return up.replayed }
+
+// Close stops the background compactor, if any, then syncs and closes the
+// write-ahead log — a clean shutdown loses zero acknowledged writes under
+// every fsync policy. Published snapshots stay valid after Close.
+func (up *Updater) Close() {
+	up.u.Close()
+	if up.store != nil {
+		up.store.Close()
+	}
+}
