@@ -37,6 +37,7 @@ func main() {
 	shards := flag.Int("shards", 0, "split into this many disjoint partition files instead of writing stdout")
 	shardMode := flag.String("shard-mode", "round-robin", "partition mode with -shards: round-robin, range, grid, or angular")
 	out := flag.String("out", "part", "output file prefix with -shards (files named <out>-<s>-of-<K>.txt)")
+	joinStub := flag.Bool("join-stub", false, "with -shards: additionally write an empty joinable shard stub <out>-join-of-<K>.txt whose header shows the -join-from bootstrap and split commands")
 	flag.Parse()
 
 	var ds *skycube.Dataset
@@ -65,11 +66,15 @@ func main() {
 		ds = skycube.GenerateSynthetic(dd, *n, *d, *seed)
 	}
 	if *shards > 0 {
-		if err := writeShards(ds, *shards, *shardMode, *out); err != nil {
+		if err := writeShards(ds, *shards, *shardMode, *out, *joinStub); err != nil {
 			fmt.Fprintln(os.Stderr, "datagen:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *joinStub {
+		fmt.Fprintln(os.Stderr, "datagen: -join-stub requires -shards")
+		os.Exit(2)
 	}
 	if err := ds.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
@@ -78,8 +83,10 @@ func main() {
 }
 
 // writeShards splits ds into k disjoint partition files, each headed by a
-// comment naming the skycubed -shard flags that serve it.
-func writeShards(ds *skycube.Dataset, k int, modeName, prefix string) error {
+// comment naming the skycubed -shard flags that serve it. With joinStub it
+// additionally writes an empty shard k+1 stub whose header shows the
+// -join-from bootstrap and split commands for a live join.
+func writeShards(ds *skycube.Dataset, k int, modeName, prefix string, joinStub bool) error {
 	var mode skycube.PartitionMode
 	switch modeName {
 	case "round-robin":
@@ -132,5 +139,41 @@ func writeShards(ds *skycube.Dataset, k int, modeName, prefix string) error {
 		fmt.Fprintf(os.Stderr, "datagen: wrote %s (%d points, id base %d stride %d)\n",
 			name, part.Len(), base, stride)
 	}
+	if joinStub {
+		return writeJoinStub(ds, k, prefix, posBase)
+	}
+	return nil
+}
+
+// writeJoinStub emits an empty shard k+1 partition file whose header is a
+// ready-to-run recipe for a live join: the new node carries no data file —
+// it bootstraps over HTTP from a peer's snapshot stream — and its insert id
+// base (the total size of the k real shards, stride 1) stays compatible
+// with the positional id arithmetic the other headers use, so no partition
+// file needs hand-editing to demonstrate the join.
+func writeJoinStub(ds *skycube.Dataset, k int, prefix string, posBase int) error {
+	name := fmt.Sprintf("%s-%d-of-%d.txt", prefix, k, k+1)
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# shard %d of %d: joinable empty stub (positional id base %d, stride 1) of %d×%d\n",
+		k, k+1, posBase, ds.Len(), ds.Dims())
+	fmt.Fprintf(w, "# no data rows on purpose — bootstrap the node from a live peer's snapshot stream:\n")
+	fmt.Fprintf(w, "#   skycubed -serve :%d -shard -data-dir ./shard-%d -join-from http://localhost:%d\n",
+		9001+k, k, 9001)
+	fmt.Fprintf(w, "# then cut it into the ring while the cluster keeps serving:\n")
+	fmt.Fprintf(w, "#   skycubectl -coordinator http://localhost:8080 split -shard 0 -child s%d -replicas http://localhost:%d\n",
+		k, 9001+k)
+	fmt.Fprintf(w, "# (the split seals the child's own insert id block; restarts reinstate it via -id-segments)\n")
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %s (joinable empty stub, id base %d stride 1)\n", name, posBase)
 	return nil
 }

@@ -105,6 +105,9 @@ func main() {
 	shardMode := flag.Bool("shard", false, "with -serve: run as a cluster shard node over this partition file")
 	idBase := flag.Int("id-base", 0, "with -shard: global id of local row 0")
 	idStride := flag.Int("id-stride", 1, "with -shard: global id step between consecutive local rows (shard count for round-robin partitions)")
+	idSegments := flag.String("id-segments", "", "with -shard: piecewise id scheme as start:base:stride[,start:base:stride...] — reinstates a split child's sealed insert block on restart (overrides -id-base/-id-stride)")
+	joinFrom := flag.String("join-from", "", "with -shard -data-dir: bootstrap this node's state from a peer shard's snapshot stream instead of a data file")
+	peerList := flag.String("peers", "", "with -shard -data-dir: comma-separated peer replica URLs for anti-entropy — a restart that recovered behind a peer wipes and re-bootstraps before reporting ready")
 	coordinator := flag.Bool("coordinator", false, "with -serve: run as a cluster coordinator (no data file)")
 	shardURLs := flag.String("shards", "", "with -coordinator: comma-separated shard replica URLs")
 	replicas := flag.Int("replicas", 1, "with -coordinator: replicas per shard (consecutive -shards URLs are grouped)")
@@ -141,6 +144,68 @@ func main() {
 		}
 		runCoordinatorMode(*serve, *shardURLs, *replicas, *extended, *clusterTimeout, *hedgeDelay, *pprofFlag, *cacheEntries, *noCache, tracing,
 			pruneOptions{enabled: *prune, preFilterK: *preFilterK, preFilterMinShards: *preFilterMinShards})
+		return
+	}
+
+	if *shardMode && *joinFrom != "" {
+		if *serve == "" || *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "skycubed: -join-from requires -shard, -serve and -data-dir")
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "skycubed: -join-from takes no data file (state comes from the peer)")
+			os.Exit(2)
+		}
+		segs, err := parseIDSegments(*idSegments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(2)
+		}
+		idFlagsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "id-base", "id-stride", "id-segments":
+				idFlagsSet = true
+			}
+		})
+		g := maybeStartGated(*serve, *dataDir)
+		runJoiningShard(*serve, *joinFrom,
+			durableOptions(*dataDir, *fsyncPolicy, *checkpointEvery),
+			*threads, *compactFraction,
+			shardServeOptions(*idBase, *idStride, segs, *maxBody, *cacheEntries, *noCache, tracing),
+			!idFlagsSet, *pprofFlag, g)
+		return
+	}
+
+	if *shardMode && *dataDir != "" && flag.NArg() == 0 {
+		// Durable restart: no data file. Recovery rebuilds the state from
+		// the directory's newest checkpoint and WAL tail; a node that was
+		// bootstrapped with -join-from never had a partition file at all.
+		if *serve == "" {
+			fmt.Fprintln(os.Stderr, "skycubed: -shard requires -serve")
+			os.Exit(2)
+		}
+		segs, err := parseIDSegments(*idSegments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(2)
+		}
+		opt := skycube.Options{
+			Threads: *threads,
+			Metrics: skycube.NewMetrics(),
+			Delta: skycube.DeltaOptions{
+				AutoCompact:     true,
+				CompactFraction: *compactFraction,
+			},
+			Durable: durableOptions(*dataDir, *fsyncPolicy, *checkpointEvery),
+		}
+		for i := 0; i < *gpus; i++ {
+			opt.GPUs = append(opt.GPUs, skycube.GTX980)
+		}
+		g := maybeStartGated(*serve, *dataDir)
+		runRestartingShard(*serve, opt,
+			shardServeOptions(*idBase, *idStride, segs, *maxBody, *cacheEntries, *noCache, tracing),
+			*peerList, *pprofFlag, g)
 		return
 	}
 
@@ -203,6 +268,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "skycubed: -shard requires -serve")
 			os.Exit(2)
 		}
+		segs, err := parseIDSegments(*idSegments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "skycubed:", err)
+			os.Exit(2)
+		}
 		opt.Delta = skycube.DeltaOptions{
 			AutoCompact:     true,
 			CompactFraction: *compactFraction,
@@ -213,7 +283,9 @@ func main() {
 		// tail replays, so probes and the coordinator see "recovering"
 		// rather than connection-refused.
 		g := maybeStartGated(*serve, *dataDir)
-		runShardMode(*serve, ds, opt, *idBase, *idStride, *pprofFlag, *maxBody, *cacheEntries, *noCache, tracing, g)
+		runShardMode(*serve, ds, opt,
+			shardServeOptions(*idBase, *idStride, segs, *maxBody, *cacheEntries, *noCache, tracing),
+			*peerList, *pprofFlag, g)
 		return
 	}
 

@@ -94,6 +94,74 @@ func TestDurableUpdaterRoundTrip(t *testing.T) {
 	checkAgainstFreshBuild(t, re.Flush(), live)
 }
 
+// TestDurableOpenUpdaterWithoutDataset: a durable restart needs no data
+// file — OpenUpdater recovers purely from the directory and must match the
+// dataset-seeded reopen exactly. A fresh directory is refused: a first
+// build needs the data.
+func TestDurableOpenUpdaterWithoutDataset(t *testing.T) {
+	const d = 3
+	dir := t.TempDir()
+	ds := skycube.GenerateSynthetic(skycube.Independent, 80, d, 51)
+	opt := skycube.Options{
+		Threads: 2,
+		Durable: skycube.DurableOptions{Dir: dir, CheckpointEvery: -1},
+	}
+	up, err := skycube.NewUpdater(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := skycube.GenerateSynthetic(skycube.Independent, 20, d, 52)
+	for i := 0; i < tail.Len(); i++ {
+		if _, err := up.Insert(tail.Point(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	final := up.Flush()
+	wantEpoch, wantLive := final.Epoch(), final.Live()
+	want := map[skycube.Subspace][]int32{}
+	for _, delta := range skycube.AllSubspaces(d) {
+		want[delta] = final.Skyline(delta)
+	}
+	up.Close()
+
+	re, err := skycube.OpenUpdater(opt)
+	if err != nil {
+		t.Fatalf("OpenUpdater: %v", err)
+	}
+	defer re.Close()
+	if re.Replayed() == 0 {
+		t.Fatal("recovery replayed no records")
+	}
+	snap := re.Current()
+	if snap.Epoch() != wantEpoch || snap.Live() != wantLive {
+		t.Fatalf("recovered epoch %d with %d live, want epoch %d with %d live",
+			snap.Epoch(), snap.Live(), wantEpoch, wantLive)
+	}
+	for _, delta := range skycube.AllSubspaces(d) {
+		if got := snap.Skyline(delta); !reflect.DeepEqual(got, want[delta]) {
+			t.Fatalf("recovered δ=%b skyline:\n got %v\nwant %v", delta, got, want[delta])
+		}
+	}
+	// The recovered updater keeps working without the dataset around.
+	if _, err := re.Insert(tail.Point(0)); err != nil {
+		t.Fatal(err)
+	}
+	re.Flush()
+
+	if _, err := skycube.OpenUpdater(skycube.Options{
+		Threads: 2,
+		Durable: skycube.DurableOptions{Dir: t.TempDir(), CheckpointEvery: -1},
+	}); err == nil {
+		t.Fatal("OpenUpdater accepted a directory with nothing to recover")
+	}
+	if _, err := skycube.OpenUpdater(skycube.Options{Threads: 2}); err == nil {
+		t.Fatal("OpenUpdater accepted an empty Durable.Dir")
+	}
+}
+
 // TestInMemoryDefaultUnchanged: without Durable.Dir nothing touches disk
 // and the updater reports no durability subsystem.
 func TestInMemoryDefaultUnchanged(t *testing.T) {

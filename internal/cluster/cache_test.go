@@ -153,7 +153,7 @@ func TestPartialResponseNeverCachedAndNoStore(t *testing.T) {
 	t.Cleanup(sh.Close)
 	srv := httptest.NewServer(sh)
 	t.Cleanup(srv.Close)
-	tc.coord.shards[1].replicas[0].url = srv.URL
+	tc.coord.curMap().shards[1].replicas[0].url = srv.URL
 
 	healed := querySkyline(t, tc.coord, mask.Full(3), http.StatusOK)
 	if !equalIDs(healed.IDs, full.IDs) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -36,10 +37,13 @@ var errAllReplicasDown = errors.New("cluster: no live replica")
 
 // statusError is a replica's non-2xx response. Keeping the code lets the
 // client tell caller errors (4xx — the replica is healthy, the request is
-// bad) from replica failures (5xx, timeouts, transport errors).
+// bad) from replica failures (5xx, timeouts, transport errors). gen is the
+// shard's current map generation when the response was a stale-generation
+// 409 (0 otherwise).
 type statusError struct {
 	code int
 	msg  string
+	gen  uint64
 }
 
 func (e *statusError) Error() string { return e.msg }
@@ -53,32 +57,72 @@ func isCallerError(err error) bool {
 	return errors.As(err, &se) && se.code >= 400 && se.code < 500
 }
 
+// staleMapGen reports whether err (anywhere in its chain) is a shard's
+// stale-generation 409: the request carried an outdated shard-map
+// generation. The caller must reload the current map and retry the whole
+// operation on it — never mix shards answered under different maps.
+func staleMapGen(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code == http.StatusConflict && se.gen > 0
+}
+
+// staleGenOf returns the shard's current map generation carried by a
+// stale-generation 409 (0 when err is not one). The retry loops feed it to
+// Coordinator.adoptMapGen so a restarted coordinator — counting from 1
+// again — catches up to the generation the shard nodes remember instead of
+// retrying a number they will reject forever.
+func staleGenOf(err error) uint64 {
+	var se *statusError
+	if errors.As(err, &se) && se.code == http.StatusConflict {
+		return se.gen
+	}
+	return 0
+}
+
 // replica is one endpoint of a shard's replica set.
 type replica struct {
 	url string
 	brk *breaker
 }
 
-// shardGroup is a shard's replica set plus its global-id arithmetic.
+// shardGroup is a shard's replica set plus its global-id scheme.
 type shardGroup struct {
 	name     string
 	replicas []*replica
-	// idBase/idStride map the shard's local row r to global id
-	// idBase + r*idStride (filled from ShardSpec or /shard/info). Atomic
-	// because Refresh writes them while concurrent handlers read.
-	idBase, idStride atomic.Int64
+	// scheme is the shard's piecewise local→global id mapping (filled from
+	// ShardSpec or learned from /shard/info at Refresh; extended by a split
+	// cutover's seal). Atomic pointer because Refresh and admin operations
+	// swap it while concurrent handlers read; nil means not yet known.
+	scheme atomic.Pointer[idScheme]
 	// diverged latches when a write-all POST partially succeeded: some
 	// replicas applied the batch and some exhausted retries, so the
 	// replica set is no longer byte-identical. Surfaced via /info and
-	// /healthz; only an operator rebuild clears it.
+	// /healthz; cleared when a Refresh observes every replica reachable and
+	// agreeing on (epoch, live) again — e.g. after an operator rebuilt the
+	// lagging replica through the rebalance bootstrap.
 	diverged atomic.Bool
 	// rr rotates the first replica tried per request, spreading read load.
 	rr atomic.Uint64
 }
 
-// idMap returns the shard's global-id arithmetic.
+// idMap returns the shard's original partition arithmetic (the first
+// segment), (0, 0) while the scheme is unknown.
 func (g *shardGroup) idMap() (base, stride int) {
-	return int(g.idBase.Load()), int(g.idStride.Load())
+	s := g.scheme.Load()
+	if s == nil {
+		return 0, 0
+	}
+	return s.primary()
+}
+
+// clone returns a copy of the group sharing the replica objects (and thus
+// their breaker state) — the copy-on-write step of a map swap that changes
+// the group's replica list.
+func (g *shardGroup) clone() *shardGroup {
+	ng := &shardGroup{name: g.name, replicas: append([]*replica(nil), g.replicas...)}
+	ng.scheme.Store(g.scheme.Load())
+	ng.diverged.Store(g.diverged.Load())
+	return ng
 }
 
 // pick returns the next replica whose breaker admits a request, nil if none.
@@ -122,9 +166,10 @@ func (c *fanoutClient) backoff(n int) time.Duration {
 }
 
 // do runs one HTTP attempt under the per-request timeout, propagating the
-// trace context when the request is traced. Non-2xx statuses are errors
-// carrying a body snippet.
-func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, traceparent string) ([]byte, error) {
+// trace context when the request is traced and the shard-map generation
+// when the caller pinned one. Non-2xx statuses are errors carrying a body
+// snippet; a stale-generation 409 carries the shard's current generation.
+func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, traceparent string, gen uint64) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.timeout)
 	defer cancel()
 	var rd io.Reader
@@ -141,6 +186,9 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, 
 	if traceparent != "" {
 		req.Header.Set(obs.TraceparentHeader, traceparent)
 	}
+	if gen > 0 {
+		req.Header.Set(mapGenHeader, strconv.FormatUint(gen, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -155,10 +203,14 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, 
 		if len(snippet) > 200 {
 			snippet = snippet[:200]
 		}
-		return nil, &statusError{
+		se := &statusError{
 			code: resp.StatusCode,
 			msg:  fmt.Sprintf("%s %s: status %d: %s", method, url, resp.StatusCode, snippet),
 		}
+		if resp.StatusCode == http.StatusConflict {
+			se.gen, _ = strconv.ParseUint(resp.Header.Get(mapGenHeader), 10, 64)
+		}
+		return nil, se
 	}
 	return b, nil
 }
@@ -173,7 +225,7 @@ func (c *fanoutClient) do(ctx context.Context, method, url string, body []byte, 
 // the traceparent header — so the shard's hop record joins the trace — and
 // the record receives one event per attempt, hedge, retry and breaker
 // rejection. Untraced requests pay a context lookup and nil tests.
-func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]byte, error) {
+func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string, gen uint64) ([]byte, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	rec := obs.RecordFrom(ctx)
@@ -206,7 +258,7 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 		}
 		go func() {
 			began := rec.Since()
-			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil, tp)
+			body, err := c.do(ctx, http.MethodGet, rep.url+path, nil, tp, gen)
 			switch {
 			case err == nil, isCallerError(err):
 				// A 4xx means the replica is up and answering; only the
@@ -304,7 +356,7 @@ func (c *fanoutClient) get(ctx context.Context, g *shardGroup, path string) ([]b
 // is write-all so replicas stay byte-identical), retrying each replica
 // with backoff. It returns one response body per replica, or an error if
 // any replica could not be written.
-func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, body []byte) ([][]byte, error) {
+func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, body []byte, gen uint64) ([][]byte, error) {
 	type repResult struct {
 		i    int
 		body []byte
@@ -319,7 +371,7 @@ func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, bod
 			var err error
 			for n := 1; ; n++ {
 				began := rec.Since()
-				b, err = c.do(ctx, http.MethodPost, rep.url+path, body, tp)
+				b, err = c.do(ctx, http.MethodPost, rep.url+path, body, tp, gen)
 				if rec != nil {
 					ev := obs.Event{Kind: obs.EvAttempt, Shard: g.name, Replica: rep.url,
 						Start: began, Dur: rec.Since() - began}
@@ -367,12 +419,14 @@ func (c *fanoutClient) post(ctx context.Context, g *shardGroup, path string, bod
 		out[r.i] = r.body
 	}
 	if firstErr != nil {
-		if succeeded > 0 {
+		if succeeded > 0 && !staleMapGen(firstErr) {
 			// Write-all partially applied: some replicas took the batch and
 			// some did not, so the replica set is no longer byte-identical.
 			// Latch it so /info and /healthz surface the divergence instead
 			// of hedged reads silently flip-flopping between inconsistent
-			// replicas.
+			// replicas. A stale-generation 409 is exempt: the replica
+			// rejected the batch before applying anything, and the caller
+			// retries the whole write on the fresh map.
 			g.diverged.Store(true)
 		}
 		return nil, firstErr

@@ -599,7 +599,7 @@ func TestClient4xxNotRetriedAndNoBreakerTrip(t *testing.T) {
 		backoffMax:  time.Millisecond,
 		metrics:     obs.NewClusterMetrics(nil),
 	}
-	if _, err := c.get(context.Background(), g, "/shard/cuboid?subspace=1"); err == nil || !isCallerError(err) {
+	if _, err := c.get(context.Background(), g, "/shard/cuboid?subspace=1", 0); err == nil || !isCallerError(err) {
 		t.Fatalf("get: err = %v, want a caller (4xx) error", err)
 	}
 	if n := hits.Load(); n != 1 {
@@ -608,7 +608,7 @@ func TestClient4xxNotRetriedAndNoBreakerTrip(t *testing.T) {
 	if brk.State() != breakerClosed {
 		t.Fatal("a 4xx counted toward the breaker on get")
 	}
-	if _, err := c.post(context.Background(), g, "/insert", []byte("{}")); err == nil || !isCallerError(err) {
+	if _, err := c.post(context.Background(), g, "/insert", []byte("{}"), 0); err == nil || !isCallerError(err) {
 		t.Fatalf("post: err = %v, want a caller (4xx) error", err)
 	}
 	if n := hits.Load(); n != 2 {

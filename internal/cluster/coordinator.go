@@ -144,6 +144,62 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	return o
 }
 
+// shardMap is one immutable generation of the cluster topology: the shard
+// groups, the consistent-hash ring over their labels, and the monotonic
+// generation number stamped on every fan-out request. Membership changes
+// (join, split, drain) build a NEW map and swap the coordinator's pointer
+// atomically; every request pins exactly one map for its whole lifetime, so
+// a query is answered entirely on one topology — old or new, never a mix.
+type shardMap struct {
+	gen    uint64
+	shards []*shardGroup
+	ring   *ring
+}
+
+// labels returns the group names in map order (the ring's label list).
+func (m *shardMap) labels() []string {
+	out := make([]string, len(m.shards))
+	for i, g := range m.shards {
+		out[i] = g.name
+	}
+	return out
+}
+
+// find returns the group with the given name, nil if absent.
+func (m *shardMap) find(name string) *shardGroup {
+	for _, g := range m.shards {
+		if g.name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// claim is one shard's claim on a global id: the group and the local row
+// its scheme maps the id to.
+type claim struct {
+	g     *shardGroup
+	local int32
+}
+
+// claimants returns every group whose id scheme claims the global id. After
+// a split, a row copied from parent to child is claimed by both (the
+// parent's open-ended arithmetic still reaches it) — deletes broadcast to
+// all claimants so whichever side still holds the row drops it.
+func (m *shardMap) claimants(id int32) []claim {
+	var out []claim
+	for _, g := range m.shards {
+		s := g.scheme.Load()
+		if s == nil {
+			continue
+		}
+		if local, ok := s.localOf(id); ok {
+			out = append(out, claim{g: g, local: local})
+		}
+	}
+	return out
+}
+
 // Coordinator owns the shard map and serves the cluster's public surface:
 //
 //	GET  /skyline?dims=0,2          exact global skyline (scatter, gather, merge)
@@ -153,13 +209,29 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 //	POST /insert                    {"points": [[...]]} routed by consistent hash
 //	POST /delete                    {"ids": [global ids]} routed by id arithmetic
 //	POST /flush                     broadcast: apply buffered batches everywhere
+//	GET  /admin/map                 current shard map (generation, groups, schemes)
+//	POST /admin/join                add a caught-up replica to a shard group
+//	POST /admin/split               cut a pre-bootstrapped child shard over
+//	POST /admin/drain               remove a replica from a shard group
+//	POST /admin/refresh             re-probe shards, clear repaired divergence
 type Coordinator struct {
-	shards []*shardGroup
-	ring   *ring
+	// smap is the current topology; handlers pin one map per request.
+	smap   atomic.Pointer[shardMap]
 	client *fanoutClient
 	cm     *obs.ClusterMetrics
+	rbm    *obs.RebalanceMetrics
 	opt    CoordinatorOptions
 	mux    *http.ServeMux
+
+	// writeMu gates mutations against membership cutovers: insert, delete
+	// and flush hold it shared; a split cutover holds it exclusively while
+	// it converges the child and swaps the map, so no write is in flight
+	// across the swap (reads are never blocked — a read racing a cutover is
+	// answered on whichever map it pinned, or rejected by a shard's
+	// stale-generation check and retried on the new one).
+	writeMu sync.RWMutex
+	// adminMu serialises membership operations with each other.
+	adminMu sync.Mutex
 
 	// cache memoizes merged /skyline responses under two key families: the
 	// write-generation key ("q|" + query, epoch = writeGen) that lets a
@@ -206,7 +278,8 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 			metrics:     cm,
 		},
 	}
-	labels := make([]string, len(specs))
+	c.rbm = obs.NewRebalanceMetrics(opt.Metrics)
+	shards := make([]*shardGroup, 0, len(specs))
 	for i, spec := range specs {
 		if len(spec.Replicas) == 0 {
 			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
@@ -215,25 +288,23 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 		if name == "" {
 			name = strconv.Itoa(i)
 		}
-		labels[i] = name
 		g := &shardGroup{name: name}
-		g.idBase.Store(int64(spec.IDBase))
-		g.idStride.Store(int64(spec.IDStride))
-		for _, u := range spec.Replicas {
-			u = strings.TrimRight(u, "/")
-			rep := &replica{url: u}
-			rep.brk = newBreaker(opt.BreakerThreshold, opt.BreakerCooldown,
-				func(state int) { cm.Breaker(u, state) })
-			g.replicas = append(g.replicas, rep)
+		if spec.IDStride != 0 {
+			g.scheme.Store(newIDScheme(spec.IDBase, spec.IDStride))
 		}
-		c.shards = append(c.shards, g)
+		for _, u := range spec.Replicas {
+			g.replicas = append(g.replicas, c.newReplica(u))
+		}
+		shards = append(shards, g)
 	}
+	m := &shardMap{gen: 1, shards: shards}
+	m.ring = newRing(m.labels())
+	c.smap.Store(m)
 	c.cacheCM = obs.NewCacheMetrics(opt.Metrics, "coordinator")
 	if !opt.DisableCache {
 		c.cache = rcache.New(opt.CacheEntries, c.cacheCM)
 	}
 	c.sampler = obs.NewSampler(opt.SampleEvery)
-	c.ring = newRing(labels)
 	c.mux = http.NewServeMux()
 	c.mux.HandleFunc("/skyline", c.handleSkyline)
 	c.mux.HandleFunc("/info", c.handleInfo)
@@ -241,6 +312,11 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 	c.mux.HandleFunc("/insert", c.handleInsert)
 	c.mux.HandleFunc("/delete", c.handleDelete)
 	c.mux.HandleFunc("/flush", c.handleFlush)
+	c.mux.HandleFunc("/admin/map", c.handleAdminMap)
+	c.mux.HandleFunc("/admin/join", c.handleAdminJoin)
+	c.mux.HandleFunc("/admin/split", c.handleAdminSplit)
+	c.mux.HandleFunc("/admin/drain", c.handleAdminDrain)
+	c.mux.HandleFunc("/admin/refresh", c.handleAdminRefresh)
 	if opt.Metrics != nil {
 		c.mux.HandleFunc("/metrics", c.handleMetrics)
 	}
@@ -254,16 +330,44 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 // ServeHTTP implements http.Handler.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
 
+// curMap returns the current shard map. Every handler calls this exactly
+// once and threads the pinned map through its whole request.
+func (c *Coordinator) curMap() *shardMap { return c.smap.Load() }
+
+// newReplica wires one replica endpoint with its circuit breaker.
+func (c *Coordinator) newReplica(u string) *replica {
+	u = strings.TrimRight(u, "/")
+	rep := &replica{url: u}
+	rep.brk = newBreaker(c.opt.BreakerThreshold, c.opt.BreakerCooldown,
+		func(state int) { c.cm.Breaker(u, state) })
+	return rep
+}
+
 // Refresh queries each shard's /shard/info (through the full retry/hedge
-// machinery) and fills in dims and any id mappings the specs left zero.
+// machinery) and fills in dims and any id schemes the specs left zero.
 // Unreachable shards are tolerated — a dead shard must not block queries
 // that can still answer partially — but a dimensionality conflict between
 // reachable shards is an error, and so is learning dims from no shard at
 // all.
+//
+// Refresh is also the divergence repair path: for a group whose write-all
+// divergence flag is latched, it additionally fetches /shard/info from
+// EVERY replica directly; if all are reachable and agree on (epoch, live)
+// — e.g. after an operator rebuilt the lagging replica through a rebalance
+// bootstrap — the flag clears and /healthz leaves "degraded".
 func (c *Coordinator) Refresh(ctx context.Context) error {
+	m := c.curMap()
 	var firstErr error
-	for _, g := range c.shards {
-		body, err := c.client.get(ctx, g, "/shard/info")
+	for _, g := range m.shards {
+		body, err := c.client.get(ctx, g, "/shard/info", m.gen)
+		if staleMapGen(err) {
+			// A shard remembers a higher generation than this (likely
+			// restarted) coordinator: adopt it and re-ask on the number the
+			// shards accept.
+			c.adoptMapGen(staleGenOf(err))
+			m = c.curMap()
+			body, err = c.client.get(ctx, g, "/shard/info", m.gen)
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: shard %s info: %w", g.name, err)
@@ -284,11 +388,17 @@ func (c *Coordinator) Refresh(ctx context.Context) error {
 			c.mu.Unlock()
 			return fmt.Errorf("cluster: shard %s has %d dims, cluster has %d", g.name, info.Dims, c.dims)
 		}
-		if g.idStride.Load() == 0 {
-			g.idBase.Store(int64(info.IDBase))
-			g.idStride.Store(int64(info.IDStride))
-		}
 		c.mu.Unlock()
+		if g.scheme.Load() == nil {
+			if scheme, err := schemeFromShardInfo(info); err == nil {
+				g.scheme.Store(scheme)
+			} else if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: shard %s id scheme: %w", g.name, err)
+			}
+		}
+		if g.diverged.Load() && c.replicasAgree(ctx, g) {
+			g.diverged.Store(false)
+		}
 	}
 	c.mu.Lock()
 	learned := c.dims != 0
@@ -300,6 +410,57 @@ func (c *Coordinator) Refresh(ctx context.Context) error {
 		return fmt.Errorf("cluster: no shard reported its dimensionality")
 	}
 	return nil
+}
+
+// schemeFromShardInfo adopts the scheme a shard reports: the full segment
+// list when present, the base/stride pair otherwise.
+func schemeFromShardInfo(info shardInfo) (*idScheme, error) {
+	if len(info.IDSegments) > 0 {
+		return schemeFromSegments(info.IDSegments)
+	}
+	if info.IDStride <= 0 {
+		return nil, fmt.Errorf("shard reported stride %d", info.IDStride)
+	}
+	return newIDScheme(info.IDBase, info.IDStride), nil
+}
+
+// replicasAgree fetches /shard/info from every replica of the group
+// directly (no hedging — the point is to observe each replica itself) and
+// reports whether all are reachable and agree on (epoch, live). Write-all
+// replicas apply identical batches in order, so agreement on the frontier
+// means the replica set has re-converged.
+func (c *Coordinator) replicasAgree(ctx context.Context, g *shardGroup) bool {
+	type frontier struct {
+		epoch uint64
+		live  int
+		err   error
+	}
+	fs := make([]frontier, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			body, err := c.client.do(ctx, http.MethodGet, url+"/shard/info", nil, "", 0)
+			if err != nil {
+				fs[i].err = err
+				return
+			}
+			var info shardInfo
+			if err := json.Unmarshal(body, &info); err != nil {
+				fs[i].err = err
+				return
+			}
+			fs[i].epoch, fs[i].live = info.Epoch, info.Live
+		}(i, rep.url)
+	}
+	wg.Wait()
+	for i := range fs {
+		if fs[i].err != nil || fs[i].epoch != fs[0].epoch || fs[i].live != fs[0].live {
+			return false
+		}
+	}
+	return len(fs) > 0
 }
 
 // dimsOrRefresh returns the cluster dimensionality, refreshing lazily.
@@ -352,22 +513,24 @@ func (s *mergeScratch) release() {
 	mergePool.Put(s)
 }
 
-// gather scatters the cuboid request to every shard concurrently and
-// collects the responses; failed shards (all replicas exhausted) are
-// reported, not fatal. The candidate slice is assembled into scratch,
-// pre-sized from the shard-reported counts instead of grown from zero.
-func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, []string) {
+// gather scatters the cuboid request to every shard of the pinned map
+// concurrently and collects the responses; failed shards (all replicas
+// exhausted) are reported, not fatal. The candidate slice is assembled into
+// scratch, pre-sized from the shard-reported counts instead of grown from
+// zero. stale reports that a shard rejected the map generation — the caller
+// must retry the whole query on the current map rather than serve a mix.
+func (c *Coordinator) gather(ctx context.Context, m *shardMap, delta mask.Mask, scratch *mergeScratch) (_ []candidate, _ map[string]uint64, _ []string, stale bool) {
 	path := fmt.Sprintf("/shard/cuboid?subspace=%d", uint32(delta))
 	if c.opt.Extended {
 		path += "&extended=true"
 	}
 	rec := obs.RecordFrom(ctx)
-	ch := make(chan gatherResult, len(c.shards))
-	for _, g := range c.shards {
+	ch := make(chan gatherResult, len(m.shards))
+	for _, g := range m.shards {
 		go func(g *shardGroup) {
 			began := rec.Since()
 			start := time.Now()
-			body, err := c.client.get(ctx, g, path)
+			body, err := c.client.get(ctx, g, path, m.gen)
 			c.cm.Fanout(g.name, time.Since(start), err == nil)
 			if err != nil {
 				if c.opt.Logger != nil {
@@ -393,13 +556,17 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *merg
 			ch <- gatherResult{shard: g.name, resp: &resp}
 		}(g)
 	}
-	responses := make([]*cuboidResponse, 0, len(c.shards))
-	epochs := make(map[string]uint64, len(c.shards))
+	responses := make([]*cuboidResponse, 0, len(m.shards))
+	epochs := make(map[string]uint64, len(m.shards))
 	var failed []string
 	total := 0
-	for range c.shards {
+	for range m.shards {
 		r := <-ch
 		if r.err != nil {
+			if staleMapGen(r.err) {
+				stale = true
+				c.adoptMapGen(staleGenOf(r.err))
+			}
 			failed = append(failed, r.shard)
 			continue
 		}
@@ -418,20 +585,27 @@ func (c *Coordinator) gather(ctx context.Context, delta mask.Mask, scratch *merg
 	}
 	scratch.cands = cands
 	sort.Strings(failed)
-	return cands, epochs, failed
+	return cands, epochs, failed, stale
 }
 
 // epochVectorHash folds the gathered per-shard epochs — in the fixed shard
-// order — into one 64-bit key: FNV-1a with a splitmix64 finalizer (see
-// hashBytes). Two gathers with identical epoch vectors are byte-identical
-// responses, so the hash memoizes the merge across unrelated writes.
-func (c *Coordinator) epochVectorHash(epochs map[string]uint64) uint64 {
+// order, seeded with the map generation — into one 64-bit key: FNV-1a with
+// a splitmix64 finalizer (see hashBytes). Two gathers with identical epoch
+// vectors under the same map are byte-identical responses, so the hash
+// memoizes the merge across unrelated writes; seeding with the generation
+// keeps vectors from different topologies (same epochs, different shard
+// sets) apart.
+func (c *Coordinator) epochVectorHash(m *shardMap, epochs map[string]uint64) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, g := range c.shards {
+	for b := 0; b < 8; b++ {
+		h ^= (m.gen >> (8 * b)) & 0xff
+		h *= prime64
+	}
+	for _, g := range m.shards {
 		e := epochs[g.name]
 		for b := 0; b < 8; b++ {
 			h ^= (e >> (8 * b)) & 0xff
@@ -547,14 +721,27 @@ func (c *Coordinator) serveSkyline(w http.ResponseWriter, r *http.Request, rec *
 		return c.serveExplain(w, r, rec, dims, delta, start)
 	}
 	rec.Event(obs.Event{Kind: obs.EvCache, Detail: "miss", Start: rec.Since()})
-	// Read the generation before gathering: a write landing mid-gather
-	// bumps it when it completes, so whatever mix of old and new shard
-	// state this query observed is stored under an already-dead key.
-	gen := c.writeGen.Load()
-	entry, err := c.cache.Fill(rcache.Key{Epoch: gen, Variant: genKeyPrefix + r.URL.RawQuery},
-		func() (*rcache.Entry, error) {
-			return c.computeSkyline(r.Context(), r.URL.RawQuery, dims, delta)
-		})
+	// Pin one shard map per attempt. A shard answering "stale generation"
+	// proves a membership cutover swapped the map mid-query; the whole
+	// query retries on the new map — shards gathered under different maps
+	// are never mixed into one answer.
+	var entry *rcache.Entry
+	for attempt := 0; ; attempt++ {
+		m := c.curMap()
+		// Read the generation before gathering: a write landing mid-gather
+		// bumps it when it completes, so whatever mix of old and new shard
+		// state this query observed is stored under an already-dead key.
+		gen := c.writeGen.Load()
+		entry, err = c.cache.Fill(rcache.Key{Epoch: gen, Variant: genKeyPrefix + r.URL.RawQuery},
+			func() (*rcache.Entry, error) {
+				return c.computeSkyline(r.Context(), m, r.URL.RawQuery, dims, delta)
+			})
+		if errors.Is(err, errStaleMap) && attempt < 2 {
+			rec.Event(obs.Event{Kind: obs.EvRetry, Detail: "stale-map", Start: rec.Since()})
+			continue
+		}
+		break
+	}
 	if err != nil {
 		var pe *partialError
 		var ge *gatewayError
@@ -570,6 +757,10 @@ func (c *Coordinator) serveSkyline(w http.ResponseWriter, r *http.Request, rec *
 			http.Error(w, ge.msg, http.StatusBadGateway)
 			c.cm.QueryTraced(time.Since(start), false, rec.TraceID())
 			return http.StatusBadGateway
+		case errors.Is(err, errStaleMap):
+			http.Error(w, "shard map changed repeatedly during the query; retry",
+				http.StatusServiceUnavailable)
+			return http.StatusServiceUnavailable
 		default:
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return http.StatusInternalServerError
@@ -594,23 +785,31 @@ func (c *Coordinator) logSlow(r *http.Request, status int, dur time.Duration, tr
 	log.Print(line)
 }
 
-// computeSkyline runs one scatter-gather-merge and returns the encoded
-// response entry, or a partialError/gatewayError for degraded outcomes.
-// Runs under the cache's singleflight gate, so concurrent identical cold
-// queries share one fan-out.
-func (c *Coordinator) computeSkyline(ctx context.Context, rawQuery string, dims []int, delta mask.Mask) (*rcache.Entry, error) {
+// errStaleMap reports that a shard rejected the pinned map's generation: a
+// cutover swapped the map mid-query, and the whole query must rerun on the
+// current map.
+var errStaleMap = errors.New("cluster: shard map generation went stale mid-query")
+
+// computeSkyline runs one scatter-gather-merge on the pinned map and
+// returns the encoded response entry, or a partialError/gatewayError for
+// degraded outcomes. Runs under the cache's singleflight gate, so
+// concurrent identical cold queries share one fan-out.
+func (c *Coordinator) computeSkyline(ctx context.Context, m *shardMap, rawQuery string, dims []int, delta mask.Mask) (*rcache.Entry, error) {
 	rec := obs.RecordFrom(ctx)
 	scratch := mergePool.Get().(*mergeScratch)
 	defer scratch.release()
-	cands, epochs, failed, considered := c.gatherForQuery(ctx, delta, scratch)
-	if len(failed) == len(c.shards) {
-		return nil, &gatewayError{msg: fmt.Sprintf("all %d shards unreachable", len(c.shards))}
+	cands, epochs, failed, considered, stale := c.gatherForQuery(ctx, m, delta, scratch)
+	if stale {
+		return nil, errStaleMap
+	}
+	if len(failed) == len(m.shards) {
+		return nil, &gatewayError{msg: fmt.Sprintf("all %d shards unreachable", len(m.shards))}
 	}
 	if len(failed) == 0 {
 		// Complete answer: the shard-epoch vector fully determines the
 		// response bytes. If an identical vector was merged before — under
 		// any write generation — reuse it and skip the merge and encode.
-		evKey := rcache.Key{Epoch: c.epochVectorHash(epochs), Variant: epochKeyPrefix + rawQuery}
+		evKey := rcache.Key{Epoch: c.epochVectorHash(m, epochs), Variant: epochKeyPrefix + rawQuery}
 		if e, ok := c.cache.Get(evKey); ok {
 			rec.Event(obs.Event{Kind: obs.EvCache, Detail: "hit-epoch-vector", Start: rec.Since()})
 			return e, nil
@@ -671,16 +870,18 @@ type infoResponse struct {
 	Shards   []shardStatus `json:"shards"`
 	Dims     int           `json:"dims"`
 	Extended bool          `json:"extended"`
+	MapGen   uint64        `json:"map_gen"`
 }
 
 type shardStatus struct {
-	Name     string          `json:"name"`
-	IDBase   int             `json:"id_base"`
-	IDStride int             `json:"id_stride"`
-	Replicas []replicaStatus `json:"replicas"`
+	Name       string          `json:"name"`
+	IDBase     int             `json:"id_base"`
+	IDStride   int             `json:"id_stride"`
+	IDSegments []IDSegment     `json:"id_segments,omitempty"`
+	Replicas   []replicaStatus `json:"replicas"`
 	// WritesDiverged reports that a write-all POST partially succeeded on
-	// this shard: its replicas are no longer byte-identical and need an
-	// operator rebuild.
+	// this shard: its replicas are no longer byte-identical and need a
+	// rebuild (Refresh clears it once every replica agrees again).
 	WritesDiverged bool `json:"writes_diverged,omitempty"`
 }
 
@@ -706,10 +907,14 @@ func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	d := c.dims
 	c.mu.Unlock()
-	resp := infoResponse{Dims: d, Extended: c.opt.Extended}
-	for _, g := range c.shards {
+	m := c.curMap()
+	resp := infoResponse{Dims: d, Extended: c.opt.Extended, MapGen: m.gen}
+	for _, g := range m.shards {
 		base, stride := g.idMap()
 		st := shardStatus{Name: g.name, IDBase: base, IDStride: stride, WritesDiverged: g.diverged.Load()}
+		if s := g.scheme.Load(); s != nil {
+			st.IDSegments = s.segments()
+		}
 		for _, rep := range g.replicas {
 			st.Replicas = append(st.Replicas, replicaStatus{URL: rep.url, Breaker: breakerName(rep.brk.State())})
 		}
@@ -731,14 +936,16 @@ type healthResponse struct {
 	DivergedShards []string `json:"diverged_shards,omitempty"`
 	ShardCount     int      `json:"shards"`
 	ReplicaGoal    int      `json:"replicas_per_shard"`
+	MapGen         uint64   `json:"map_gen"`
 }
 
 func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodGet) {
 		return
 	}
-	resp := healthResponse{Status: "ok", Ready: true, ShardCount: len(c.shards)}
-	for _, g := range c.shards {
+	m := c.curMap()
+	resp := healthResponse{Status: "ok", Ready: true, ShardCount: len(m.shards), MapGen: m.gen}
+	for _, g := range m.shards {
 		if len(g.replicas) > resp.ReplicaGoal {
 			resp.ReplicaGoal = len(g.replicas)
 		}
@@ -832,19 +1039,49 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `missing points (e.g. {"points": [[1,2,3]]})`, http.StatusBadRequest)
 		return
 	}
+	// Writes hold the gate shared: a split cutover holds it exclusively
+	// across its convergence and map swap, so no insert spans the swap.
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	// Per-shard batch ids make replica writes idempotent: a retry after a
+	// timeout (the first attempt may or may not have been applied) replays
+	// the shard's original response instead of inserting twice. Generated
+	// once, so a stale-map retry of the whole request replays too.
+	batch := req.Batch
+	if batch == "" {
+		batch = newBatchID()
+	}
+	for attempt := 0; ; attempt++ {
+		status, msg := c.insertOnce(w, r, &req, batch)
+		if status == http.StatusConflict && msg == "" && attempt < 2 {
+			continue // stale map: retry the whole batch on the current map
+		}
+		if status != 0 {
+			http.Error(w, msg, status)
+		}
+		return
+	}
+}
+
+// insertOnce routes one insert batch on the current map. It returns (0, "")
+// after writing the success response itself, or a status and message for
+// the caller; (StatusConflict, "") is the stale-map outcome the caller
+// retries.
+func (c *Coordinator) insertOnce(w http.ResponseWriter, r *http.Request, req *insertRequest, batch string) (int, string) {
+	m := c.curMap()
 	// Range-partitioned clusters (stride-1 id blocks) cannot accept
 	// inserts: shard s's next local row n_s maps to global id
 	// base_s + n_s, which is exactly shard s+1's base — two distinct
 	// points would share a global id, the merge would silently drop one,
 	// and deletes would route to the wrong shard. Range mode is read-only;
-	// refuse rather than corrupt.
-	if len(c.shards) > 1 {
-		for _, g := range c.shards {
-			if _, stride := g.idMap(); stride == 1 {
-				http.Error(w, fmt.Sprintf(
+	// refuse rather than corrupt. (Sealed split blocks live in their own
+	// reserved id region and do not trip this.)
+	if len(m.shards) > 1 {
+		for _, g := range m.shards {
+			if s := g.scheme.Load(); s != nil && s.rangePartitioned() {
+				return http.StatusConflict, fmt.Sprintf(
 					"shard %s is range-partitioned (id stride 1): inserted ids would collide with the next shard's id block; range-partitioned clusters are read-only (use round-robin partitions for writable clusters)",
-					g.name), http.StatusConflict)
-				return
+					g.name)
 			}
 		}
 	}
@@ -853,30 +1090,22 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 	// completion (not start) matters: a read that gathered pre-write shard
 	// state must not be cached under the post-write generation.
 	defer c.writeGen.Add(1)
-	// Per-shard batch ids make replica writes idempotent: a retry after a
-	// timeout (the first attempt may or may not have been applied) replays
-	// the shard's original response instead of inserting twice.
-	batch := req.Batch
-	if batch == "" {
-		batch = newBatchID()
-	}
 	// Group the batch per owning shard, remembering request order.
-	perShard := make(map[int][]int, len(c.shards)) // shard index -> request indices
+	perShard := make(map[int][]int, len(m.shards)) // shard index -> request indices
 	for i, p := range req.Points {
-		s := c.ring.owner(hashPoint(p))
+		s := m.ring.owner(hashPoint(p))
 		perShard[s] = append(perShard[s], i)
 	}
 	resp := insertResponse{IDs: make([]int32, len(req.Points)), Routed: map[string]int{}}
 	for s, idxs := range perShard {
-		g := c.shards[s]
-		base, stride := g.idMap()
-		if stride <= 0 {
-			// The shard never reported its id arithmetic (spec left it zero
-			// and /shard/info was unreachable): the global ids would be
-			// garbage, so refuse until a Refresh learns the mapping.
-			http.Error(w, fmt.Sprintf("shard %s id mapping unknown (unreachable at refresh?)", g.name),
-				http.StatusServiceUnavailable)
-			return
+		g := m.shards[s]
+		scheme := g.scheme.Load()
+		if scheme == nil {
+			// The shard never reported its id scheme (spec left it zero and
+			// /shard/info was unreachable): the global ids would be garbage,
+			// so refuse until a Refresh learns the mapping.
+			return http.StatusServiceUnavailable,
+				fmt.Sprintf("shard %s id mapping unknown (unreachable at refresh?)", g.name)
 		}
 		pts := make([][]float32, len(idxs))
 		for k, i := range idxs {
@@ -884,27 +1113,38 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 		body, err := json.Marshal(insertRequest{Points: pts, Batch: batch + "/" + g.name})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return http.StatusInternalServerError, err.Error()
 		}
 		// Write-all replication: every replica must accept the batch so the
 		// replica set stays byte-identical (and agrees on assigned ids).
-		bodies, err := c.client.post(r.Context(), g, "/insert", body)
+		bodies, err := c.client.post(r.Context(), g, "/insert", body, m.gen)
 		if err != nil {
+			if staleMapGen(err) {
+				c.adoptMapGen(staleGenOf(err))
+				if len(resp.Routed) == 0 {
+					// Nothing applied yet: rerouting the whole batch on the
+					// new map is safe.
+					return http.StatusConflict, ""
+				}
+				// Part of the batch landed under the old map; rerouting the
+				// rest could place a point on a different shard than a
+				// replayed retry of the applied part. Surface the conflict
+				// instead of splitting the batch across topologies.
+				return http.StatusBadGateway,
+					"shard map changed mid-insert after part of the batch applied"
+			}
 			status := http.StatusBadGateway
 			if isCallerError(err) {
 				status = http.StatusBadRequest
 			}
-			http.Error(w, fmt.Sprintf("insert failed on shard %s: %v", g.name, err), status)
-			return
+			return status, fmt.Sprintf("insert failed on shard %s: %v", g.name, err)
 		}
 		var localIDs []int32
 		for ri, b := range bodies {
 			var sr shardInsertResponse
 			if err := json.Unmarshal(b, &sr); err != nil || len(sr.IDs) != len(idxs) {
-				http.Error(w, fmt.Sprintf("shard %s replica returned a malformed insert response", g.name),
-					http.StatusBadGateway)
-				return
+				return http.StatusBadGateway,
+					fmt.Sprintf("shard %s replica returned a malformed insert response", g.name)
 			}
 			if ri == 0 {
 				localIDs = sr.IDs
@@ -914,18 +1154,18 @@ func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
 				if sr.IDs[k] != localIDs[k] {
 					// Replicas no longer agree on the id sequence — refuse to
 					// report ids that would be wrong on half the replica set.
-					http.Error(w, fmt.Sprintf("shard %s replicas diverged on assigned ids", g.name),
-						http.StatusBadGateway)
-					return
+					return http.StatusBadGateway,
+						fmt.Sprintf("shard %s replicas diverged on assigned ids", g.name)
 				}
 			}
 		}
 		for k, i := range idxs {
-			resp.IDs[i] = int32(base) + localIDs[k]*int32(stride)
+			resp.IDs[i] = scheme.global(localIDs[k])
 		}
 		resp.Routed[g.name] += len(idxs)
 	}
 	writeJSON(w, resp)
+	return 0, ""
 }
 
 // deleteRequest / deleteResponse carry global ids; each id routes to its
@@ -937,31 +1177,6 @@ type deleteRequest struct {
 type deleteResponse struct {
 	Deleted int            `json:"deleted"`
 	Routed  map[string]int `json:"routed"`
-}
-
-// ownerOf finds the shard owning a global id: the matching arithmetic with
-// the largest base (so overlapping stride-1 range mappings resolve to the
-// right block).
-func (c *Coordinator) ownerOf(id int32) (*shardGroup, int32, bool) {
-	var best *shardGroup
-	var bestBase int
-	var bestLocal int32
-	for _, g := range c.shards {
-		base, stride := g.idMap()
-		if stride <= 0 {
-			continue
-		}
-		off := int(id) - base
-		if off < 0 || off%stride != 0 {
-			continue
-		}
-		if best == nil || base > bestBase {
-			best = g
-			bestBase = base
-			bestLocal = int32(off / stride)
-		}
-	}
-	return best, bestLocal, best != nil
 }
 
 func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -981,33 +1196,118 @@ func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, `missing ids (e.g. {"ids": [17]})`, http.StatusBadRequest)
 		return
 	}
+	// Writes hold the gate shared (see handleInsert). Deletes are
+	// idempotent at the system level — a victim already gone answers 4xx —
+	// so a stale-map retry can always rerun the whole request.
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	for attempt := 0; ; attempt++ {
+		status, msg := c.deleteOnce(w, r, &req)
+		if status == http.StatusConflict && msg == "" && attempt < 2 {
+			continue // stale map: retry on the current map
+		}
+		if status != 0 {
+			http.Error(w, msg, status)
+		}
+		return
+	}
+}
+
+// deleteOnce routes one delete batch on the current map, broadcasting each
+// id to EVERY group whose scheme claims it. After a split, rows copied from
+// parent to child are claimed by both until the ownership prune completes —
+// and the parent's open arithmetic claims the child's copied rows forever —
+// so a delete succeeds if at least one claimant dropped the row; claimants
+// that no longer hold it answer 4xx, which is the goal state, not an error.
+// Any 5xx (a claimant that might still hold the row but could not be
+// written) fails the request. Returns like insertOnce.
+func (c *Coordinator) deleteOnce(w http.ResponseWriter, r *http.Request, req *deleteRequest) (int, string) {
+	m := c.curMap()
 	// Bump the read-memo generation when the delete finishes (see
 	// handleInsert for why completion, not start).
 	defer c.writeGen.Add(1)
-	perShard := make(map[*shardGroup][]int32)
-	for _, id := range req.IDs {
-		g, local, ok := c.ownerOf(id)
-		if !ok {
-			http.Error(w, fmt.Sprintf("id %d maps to no shard", id), http.StatusBadRequest)
-			return
-		}
-		perShard[g] = append(perShard[g], local)
+
+	// Bucket ids by their full claimant signature: ids claimed by exactly
+	// one group batch per group as before; ids claimed by several groups go
+	// one-by-one so a per-id miss on one claimant cannot fail unrelated ids
+	// batched with it.
+	type bucket struct {
+		g      *shardGroup
+		locals []int32
+		ids    []int32 // global ids, for accounting
 	}
+	singles := make(map[*shardGroup]*bucket)
+	type multi struct {
+		id     int32
+		claims []claim
+	}
+	var multis []multi
+	for _, id := range req.IDs {
+		claims := m.claimants(id)
+		switch len(claims) {
+		case 0:
+			return http.StatusBadRequest, fmt.Sprintf("id %d maps to no shard", id)
+		case 1:
+			b := singles[claims[0].g]
+			if b == nil {
+				b = &bucket{g: claims[0].g}
+				singles[claims[0].g] = b
+			}
+			b.locals = append(b.locals, claims[0].local)
+			b.ids = append(b.ids, id)
+		default:
+			multis = append(multis, multi{id: id, claims: claims})
+		}
+	}
+
 	resp := deleteResponse{Routed: map[string]int{}}
-	for g, locals := range perShard {
-		body, err := json.Marshal(deleteRequest{IDs: locals})
+	for _, b := range singles {
+		body, err := json.Marshal(deleteRequest{IDs: b.locals})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return http.StatusInternalServerError, err.Error()
 		}
-		if _, err := c.client.post(r.Context(), g, "/delete", body); err != nil {
-			http.Error(w, fmt.Sprintf("delete failed on shard %s: %v", g.name, err), http.StatusBadGateway)
-			return
+		if _, err := c.client.post(r.Context(), b.g, "/delete", body, m.gen); err != nil {
+			if staleMapGen(err) {
+				c.adoptMapGen(staleGenOf(err))
+				return http.StatusConflict, ""
+			}
+			status := http.StatusBadGateway
+			if isCallerError(err) {
+				status = http.StatusBadRequest
+			}
+			return status, fmt.Sprintf("delete failed on shard %s: %v", b.g.name, err)
 		}
-		resp.Deleted += len(locals)
-		resp.Routed[g.name] += len(locals)
+		resp.Deleted += len(b.locals)
+		resp.Routed[b.g.name] += len(b.locals)
+	}
+	for _, mu := range multis {
+		dropped := 0
+		for _, cl := range mu.claims {
+			body, err := json.Marshal(deleteRequest{IDs: []int32{cl.local}})
+			if err != nil {
+				return http.StatusInternalServerError, err.Error()
+			}
+			if _, err := c.client.post(r.Context(), cl.g, "/delete", body, m.gen); err != nil {
+				if staleMapGen(err) {
+					c.adoptMapGen(staleGenOf(err))
+					return http.StatusConflict, ""
+				}
+				if isCallerError(err) {
+					continue // this claimant no longer holds the row
+				}
+				return http.StatusBadGateway,
+					fmt.Sprintf("delete %d failed on shard %s: %v", mu.id, cl.g.name, err)
+			}
+			dropped++
+			resp.Routed[cl.g.name]++
+		}
+		if dropped == 0 {
+			return http.StatusBadRequest, fmt.Sprintf("id %d is not live on any claiming shard", mu.id)
+		}
+		resp.Deleted++
 	}
 	writeJSON(w, resp)
+	return 0, ""
 }
 
 // flushResponse reports the post-flush epoch per shard.
@@ -1024,17 +1324,21 @@ func (c *Coordinator) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if !allowMethod(w, r, http.MethodPost) {
 		return
 	}
+	// Flush is a write: it holds the gate shared and pins one map.
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	m := c.curMap()
 	// Flush advances shard epochs, so the read memo must roll over with it.
 	defer c.writeGen.Add(1)
 	resp := flushResponse{Epochs: map[string]uint64{}}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(c.shards))
-	for _, g := range c.shards {
+	errCh := make(chan error, len(m.shards))
+	for _, g := range m.shards {
 		wg.Add(1)
 		go func(g *shardGroup) {
 			defer wg.Done()
-			bodies, err := c.client.post(r.Context(), g, "/flush", []byte("{}"))
+			bodies, err := c.client.post(r.Context(), g, "/flush", []byte("{}"), m.gen)
 			if err != nil {
 				errCh <- fmt.Errorf("flush failed on shard %s: %w", g.name, err)
 				return

@@ -102,13 +102,19 @@ type explainStage struct {
 // breakdown. rec is never nil here — handleSkyline forces a record for
 // explain requests.
 func (c *Coordinator) serveExplain(w http.ResponseWriter, r *http.Request, rec *obs.ReqRecord, dims []int, delta mask.Mask, start time.Time) int {
-	entry, err := c.computeSkyline(r.Context(), r.URL.RawQuery, dims, delta)
+	entry, err := c.computeSkyline(r.Context(), c.curMap(), r.URL.RawQuery, dims, delta)
 	status := http.StatusOK
 	resp := explainResponse{TraceID: rec.TraceID(), Dims: dims, Cache: "bypass"}
 	if err != nil {
 		var pe *partialError
 		var ge *gatewayError
 		switch {
+		case errors.Is(err, errStaleMap):
+			// Explain bypasses the retry loop (one fan-out, one breakdown);
+			// a cutover racing it is simply reported.
+			status = http.StatusServiceUnavailable
+			http.Error(w, "shard map changed during the explain fan-out; retry", status)
+			return status
 		case errors.As(err, &pe):
 			status = http.StatusPartialContent
 			resp.Partial = true

@@ -225,24 +225,29 @@ func (c *Coordinator) dimCount() int {
 // enabled (falling back to the plain gather on any prelude/epoch/transport
 // trouble), the plain gather otherwise. The fourth result is the considered
 // candidate count — shipped + source-filtered + skipped — which the response
-// reports as Candidates; on the unpruned path it equals len(cands).
-func (c *Coordinator) gatherForQuery(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, []string, int) {
-	if c.opt.Prune && len(c.shards) > 1 {
-		if cands, epochs, considered, ok := c.gatherPruned(ctx, delta, scratch); ok {
-			return cands, epochs, nil, considered
+// reports as Candidates; on the unpruned path it equals len(cands). The
+// fifth result reports a stale-map 409 from any shard: the pinned map's
+// generation is behind a cutover the shards already crossed, so the caller
+// must abandon this gather and retry on the current map. A stale pruned
+// prelude/gather simply falls back to the plain gather, which sees the same
+// 409 and raises the flag.
+func (c *Coordinator) gatherForQuery(ctx context.Context, m *shardMap, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, []string, int, bool) {
+	if c.opt.Prune && len(m.shards) > 1 {
+		if cands, epochs, considered, ok := c.gatherPruned(ctx, m, delta, scratch); ok {
+			return cands, epochs, nil, considered, false
 		}
 	}
-	cands, epochs, failed := c.gather(ctx, delta, scratch)
-	return cands, epochs, failed, len(cands)
+	cands, epochs, failed, stale := c.gather(ctx, m, delta, scratch)
+	return cands, epochs, failed, len(cands), stale
 }
 
 // gatherPruned runs the pruned gather: prelude (corners + reps), upfront
 // region skips, filtered cuboid fan-out with arrival-order late skips, and
 // per-shard epoch validation. ok=false means the caller must fall back to
 // the plain gather; the reason has already been recorded.
-func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, int, bool) {
+func (c *Coordinator) gatherPruned(ctx context.Context, m *shardMap, delta mask.Mask, scratch *mergeScratch) ([]candidate, map[string]uint64, int, bool) {
 	rec := obs.RecordFrom(ctx)
-	n := len(c.shards)
+	n := len(m.shards)
 	preK := c.opt.PreFilterK
 	if n < c.opt.PreFilterMinShards {
 		preK = 0
@@ -265,23 +270,23 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		err error
 	}
 	mch := make(chan metaResult, n)
-	for i, g := range c.shards {
+	for i, g := range m.shards {
 		go func(i int, g *shardGroup) {
-			body, err := c.client.get(ctx, g, metaPath)
+			body, err := c.client.get(ctx, g, metaPath, m.gen)
 			if err == nil {
-				var m skymetaResponse
-				if err = json.Unmarshal(body, &m); err == nil {
-					metas[i] = shardMeta{count: m.Count, epoch: m.Epoch,
-						region: dom.Region{Min: m.Min, Max: m.Max}, reps: m.Reps}
+				var sm skymetaResponse
+				if err = json.Unmarshal(body, &sm); err == nil {
+					metas[i] = shardMeta{count: sm.Count, epoch: sm.Epoch,
+						region: dom.Region{Min: sm.Min, Max: sm.Max}, reps: sm.Reps}
 				}
 			}
 			mch <- metaResult{i, err}
 		}(i, g)
 	}
 	var preludeErr error
-	for range c.shards {
+	for range m.shards {
 		if r := <-mch; r.err != nil && preludeErr == nil {
-			preludeErr = fmt.Errorf("shard %s skymeta: %w", c.shards[r.idx].name, r.err)
+			preludeErr = fmt.Errorf("shard %s skymeta: %w", m.shards[r.idx].name, r.err)
 		}
 	}
 	if preludeErr != nil {
@@ -326,7 +331,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		}
 	}()
 	active := 0
-	for i, g := range c.shards {
+	for i, g := range m.shards {
 		if skipped[i] {
 			continue
 		}
@@ -340,7 +345,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		go func(i int, g *shardGroup, path string, cctx context.Context) {
 			began := rec.Since()
 			start := time.Now()
-			body, err := c.client.get(cctx, g, path)
+			body, err := c.client.get(cctx, g, path, m.gen)
 			res := prResult{idx: i, began: began, wall: time.Since(start), err: err}
 			if err == nil {
 				var resp cuboidResponse
@@ -371,7 +376,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		}
 		if r.err != nil {
 			fallbackReason, fallbackErr = "gather_error",
-				fmt.Errorf("shard %s: %w", c.shards[r.idx].name, r.err)
+				fmt.Errorf("shard %s: %w", m.shards[r.idx].name, r.err)
 			break
 		}
 		if r.resp.Epoch != metas[r.idx].epoch {
@@ -380,10 +385,10 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 			// epoch no longer holds. Only the unpruned path is exact now.
 			fallbackReason = "epoch_mismatch"
 			fallbackErr = fmt.Errorf("shard %s answered at epoch %d, prelude saw %d",
-				c.shards[r.idx].name, r.resp.Epoch, metas[r.idx].epoch)
+				m.shards[r.idx].name, r.resp.Epoch, metas[r.idx].epoch)
 			break
 		}
-		g := c.shards[r.idx]
+		g := m.shards[r.idx]
 		c.cm.Fanout(g.name, r.wall, true)
 		rec.Event(obs.Event{Kind: obs.EvShardResult, Shard: g.name,
 			Start: r.began, Dur: r.dur,
@@ -398,7 +403,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		// Arrival-order late skips: an arrived actual point dominating a
 		// pending shard's min corner dominates that shard's every result
 		// point — stop asking.
-		for j := range c.shards {
+		for j := range m.shards {
 			if j == r.idx || skipped[j] || lateSkipped[j] || responses[j] != nil {
 				continue
 			}
@@ -423,7 +428,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 	epochs := make(map[string]uint64, n)
 	considered := 0
 	total := 0
-	for i := range c.shards {
+	for i := range m.shards {
 		if responses[i] != nil {
 			total += len(responses[i].IDs)
 		}
@@ -432,7 +437,7 @@ func (c *Coordinator) gatherPruned(ctx context.Context, delta mask.Mask, scratch
 		scratch.cands = make([]candidate, 0, total)
 	}
 	cands := scratch.cands[:0]
-	for i, g := range c.shards {
+	for i, g := range m.shards {
 		if resp := responses[i]; resp != nil {
 			epochs[g.name] = resp.Epoch
 			considered += len(resp.IDs) + resp.Filtered

@@ -59,7 +59,7 @@ func (c *Coordinator) handleTraceQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	var wg sync.WaitGroup
 	ch := make(chan hop)
-	for _, g := range c.shards {
+	for _, g := range c.curMap().shards {
 		for _, rep := range g.replicas {
 			wg.Add(1)
 			go func(shard, url string) {

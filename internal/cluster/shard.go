@@ -30,6 +30,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"skycube"
@@ -37,6 +39,7 @@ import (
 	"skycube/internal/mask"
 	"skycube/internal/obs"
 	"skycube/internal/rcache"
+	"skycube/internal/rebalance"
 	"skycube/internal/server"
 	"skycube/internal/skyline"
 )
@@ -74,6 +77,18 @@ type ShardOptions struct {
 	// SlowQuery, when > 0, logs one structured line per request at least
 	// this slow.
 	SlowQuery time.Duration
+	// IDSegments, when non-empty, replaces the IDBase/IDStride single
+	// mapping with an explicit piecewise scheme — how a restarted split
+	// child reinstates its sealed insert block.
+	IDSegments []IDSegment
+	// Threads sizes the extended-skyline scan pool for shards built through
+	// NewShardFrom (NewShard derives it from the build options); 0 means
+	// NumCPU.
+	Threads int
+	// Source, when non-nil, is the rebalance node this shard was
+	// bootstrapped from; it enables POST /shard/sync (pull the source
+	// peer's remaining WAL tail — the split cutover's final catch-up).
+	Source *rebalance.Node
 }
 
 // Shard is a shard node: a maintainable skycube over one horizontal
@@ -90,8 +105,27 @@ type Shard struct {
 	up      *skycube.Updater
 	dims    int
 	threads int
-	base    int
-	stride  int
+
+	// scheme is the shard's piecewise local→global id mapping, swapped
+	// atomically when a split cutover seals a fresh insert block.
+	scheme atomic.Pointer[idScheme]
+
+	// maxGen is the highest coordinator shard-map generation this shard has
+	// seen; requests carrying an older one are answered 409 so a stale map
+	// holder refreshes instead of acting on dead topology.
+	maxGen atomic.Uint64
+
+	// source, when non-nil, is the peer stream this shard bootstrapped from
+	// (POST /shard/sync pulls its remaining tail); sourceMu serialises the
+	// cursor.
+	sourceMu sync.Mutex
+	source   *rebalance.Node
+
+	// adminMu serialises the rare mutating admin operations (seal, prune) so
+	// their read-modify-write sequences stay atomic.
+	adminMu sync.Mutex
+
+	rbm *obs.RebalanceMetrics
 
 	// cache memoizes encoded /shard/cuboid responses per (epoch, query):
 	// a coordinator fan-out of a warm subspace is a map probe and a byte
@@ -100,15 +134,24 @@ type Shard struct {
 	cm    *obs.CacheMetrics
 }
 
+// schemeFor builds a shard's initial id scheme from its options.
+func schemeFor(sopt ShardOptions) (*idScheme, error) {
+	if len(sopt.IDSegments) > 0 {
+		return schemeFromSegments(sopt.IDSegments)
+	}
+	if sopt.IDBase < 0 || sopt.IDStride < 0 {
+		return nil, fmt.Errorf("cluster: negative id mapping (base %d, stride %d)", sopt.IDBase, sopt.IDStride)
+	}
+	return newIDScheme(sopt.IDBase, sopt.IDStride), nil
+}
+
 // NewShard builds the shard's skycube over its partition (via
 // skycube.NewUpdater, so coordinator-routed inserts and deletes work) and
 // returns the node. Close releases the updater's background goroutines.
 func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Shard, error) {
-	if sopt.IDStride == 0 {
-		sopt.IDStride = 1
-	}
-	if sopt.IDBase < 0 || sopt.IDStride < 0 {
-		return nil, fmt.Errorf("cluster: negative id mapping (base %d, stride %d)", sopt.IDBase, sopt.IDStride)
+	scheme, err := schemeFor(sopt)
+	if err != nil {
+		return nil, err
 	}
 	if sopt.Metrics != nil {
 		opt.Metrics = sopt.Metrics // skycube.Metrics is an alias of obs.Registry
@@ -121,13 +164,36 @@ func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Sha
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
+	return finishShard(up, ds.Dims(), threads, scheme, sopt), nil
+}
+
+// NewShardFrom wraps an already-built updater — typically one adopted from a
+// rebalance bootstrap (skycube.AdoptUpdater) — as a serving shard node. The
+// dimensionality comes from the updater's current snapshot; sopt.Threads
+// sizes the extended-skyline pool.
+func NewShardFrom(up *skycube.Updater, sopt ShardOptions) (*Shard, error) {
+	scheme, err := schemeFor(sopt)
+	if err != nil {
+		return nil, err
+	}
+	threads := sopt.Threads
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	return finishShard(up, up.Current().Dims(), threads, scheme, sopt), nil
+}
+
+// finishShard wires the shard node around a ready updater: response cache,
+// embedded server, and the cluster + rebalance endpoint set.
+func finishShard(up *skycube.Updater, dims, threads int, scheme *idScheme, sopt ShardOptions) *Shard {
 	sh := &Shard{
 		up:      up,
-		dims:    ds.Dims(),
+		dims:    dims,
 		threads: threads,
-		base:    sopt.IDBase,
-		stride:  sopt.IDStride,
+		source:  sopt.Source,
 	}
+	sh.scheme.Store(scheme)
+	sh.rbm = obs.NewRebalanceMetrics(sopt.Metrics)
 	sh.cm = obs.NewCacheMetrics(sopt.Metrics, "shard")
 	if !sopt.DisableCache {
 		sh.cache = rcache.New(sopt.CacheEntries, sh.cm)
@@ -147,12 +213,46 @@ func NewShard(ds *skycube.Dataset, opt skycube.Options, sopt ShardOptions) (*Sha
 	sh.srv.Handle("/shard/cuboid", http.HandlerFunc(sh.handleCuboid))
 	sh.srv.Handle("/shard/skymeta", http.HandlerFunc(sh.handleSkymeta))
 	sh.srv.Handle("/shard/info", http.HandlerFunc(sh.handleInfo))
-	return sh, nil
+	sh.srv.Handle("/shard/snapshot", http.HandlerFunc(sh.handleSnapshot))
+	sh.srv.Handle("/shard/tail", http.HandlerFunc(sh.handleTail))
+	sh.srv.Handle("/shard/sync", http.HandlerFunc(sh.handleSync))
+	sh.srv.Handle("/shard/seal", http.HandlerFunc(sh.handleSeal))
+	sh.srv.Handle("/shard/prune", http.HandlerFunc(sh.handlePrune))
+	return sh
 }
 
+// mapGenHeader carries the coordinator's shard-map generation on every
+// fan-out request; the shard answers generations older than the highest it
+// has seen with 409 Conflict (and the current generation in the same header)
+// so a stale map holder refreshes instead of acting on dead topology.
+const mapGenHeader = "X-Skycube-Map-Gen"
+
 // ServeHTTP implements http.Handler through the embedded server (so the
-// request middleware covers the cluster endpoints too).
-func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.srv.ServeHTTP(w, r) }
+// request middleware covers the cluster endpoints too). Requests carrying a
+// stale shard-map generation are rejected before they reach any handler.
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if gs := r.Header.Get(mapGenHeader); gs != "" {
+		gen, err := strconv.ParseUint(gs, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad %s header %q", mapGenHeader, gs), http.StatusBadRequest)
+			return
+		}
+		for {
+			cur := s.maxGen.Load()
+			if gen < cur {
+				s.rbm.StaleGen()
+				w.Header().Set(mapGenHeader, strconv.FormatUint(cur, 10))
+				http.Error(w, fmt.Sprintf("stale shard map generation %d (current %d)", gen, cur),
+					http.StatusConflict)
+				return
+			}
+			if gen == cur || s.maxGen.CompareAndSwap(cur, gen) {
+				break
+			}
+		}
+	}
+	s.srv.ServeHTTP(w, r)
+}
 
 // Updater exposes the shard's updater (tests and embedding).
 func (s *Shard) Updater() *skycube.Updater { return s.up }
@@ -163,9 +263,10 @@ func (s *Shard) Server() *server.Server { return s.srv }
 // Close stops the updater's background compactor.
 func (s *Shard) Close() { s.up.Close() }
 
-// GlobalID maps a local row to its global point id.
+// GlobalID maps a local row to its global point id through the current
+// piecewise scheme.
 func (s *Shard) GlobalID(local int32) int32 {
-	return int32(s.base) + local*int32(s.stride)
+	return s.scheme.Load().global(local)
 }
 
 // cuboidResponse is the /shard/cuboid payload: the shard-local result for
@@ -455,13 +556,22 @@ func (s *Shard) bestReps(snap skycube.Snapshot, local []int32, delta mask.Mask, 
 	return reps
 }
 
-// shardInfo is the /shard/info payload.
+// shardInfo is the /shard/info payload. IDBase/IDStride echo the first
+// segment's arithmetic for backward compatibility; IDSegments is the full
+// piecewise scheme. The wal_* freshness keys (present only on durable
+// shards) are what rebalance.Freshness and anti-entropy catch-up read.
 type shardInfo struct {
-	Dims     int    `json:"dims"`
-	Live     int    `json:"live"`
-	Epoch    uint64 `json:"epoch"`
-	IDBase   int    `json:"id_base"`
-	IDStride int    `json:"id_stride"`
+	Dims        int         `json:"dims"`
+	Live        int         `json:"live"`
+	Epoch       uint64      `json:"epoch"`
+	IDBase      int         `json:"id_base"`
+	IDStride    int         `json:"id_stride"`
+	IDSegments  []IDSegment `json:"id_segments"`
+	MapGen      uint64      `json:"map_gen"`
+	WALSeq      uint64      `json:"wal_seq,omitempty"`
+	SnapshotSeq uint64      `json:"snapshot_seq,omitempty"`
+	Replayed    int         `json:"replayed,omitempty"`
+	Records     uint64      `json:"records,omitempty"`
 }
 
 func (s *Shard) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -471,11 +581,22 @@ func (s *Shard) handleInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.up.Current()
-	writeJSON(w, shardInfo{
-		Dims:     s.dims,
-		Live:     snap.Live(),
-		Epoch:    snap.Epoch(),
-		IDBase:   s.base,
-		IDStride: s.stride,
-	})
+	scheme := s.scheme.Load()
+	base, stride := scheme.primary()
+	info := shardInfo{
+		Dims:       s.dims,
+		Live:       snap.Live(),
+		Epoch:      snap.Epoch(),
+		IDBase:     base,
+		IDStride:   stride,
+		IDSegments: scheme.segments(),
+		MapGen:     s.maxGen.Load(),
+	}
+	if st := s.up.Store(); st != nil {
+		info.WALSeq = st.Seq()
+		info.SnapshotSeq = st.SnapshotSeq()
+		info.Replayed = s.up.Replayed()
+		info.Records = st.Records()
+	}
+	writeJSON(w, info)
 }

@@ -498,6 +498,16 @@ func (u *Updater) Pending() (inserts, deletes int) {
 	return inserts, len(u.pendDeleted)
 }
 
+// NextID returns the id the next Insert will assign. State-transfer code
+// uses it as the exact boundary between rows that came from a peer's
+// replicated stream and rows inserted directly afterwards (a split's
+// piecewise id mapping is sealed at this value).
+func (u *Updater) NextID() int32 {
+	u.pendMu.Lock()
+	defer u.pendMu.Unlock()
+	return u.nextID
+}
+
 // Flush applies the buffered batch and returns the snapshot serving it
 // (the current snapshot when the batch was empty).
 func (u *Updater) Flush() *Snapshot {

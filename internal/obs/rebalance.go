@@ -1,0 +1,119 @@
+package obs
+
+import "time"
+
+// RebalanceMetrics bundles the metric families of the elastic-membership
+// control plane (internal/rebalance and the cluster admin surface):
+// snapshot-stream transfers, tail replication, catch-up progress, shard-map
+// swaps and ownership pruning. A nil *RebalanceMetrics is valid everywhere
+// and records nothing.
+type RebalanceMetrics struct {
+	reg *Registry
+}
+
+// NewRebalanceMetrics wires rebalance metrics into reg; a nil registry
+// yields a nil (no-op) bundle.
+func NewRebalanceMetrics(reg *Registry) *RebalanceMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &RebalanceMetrics{reg: reg}
+}
+
+// SnapshotServed records one snapshot stream served to a joining replica.
+func (m *RebalanceMetrics) SnapshotServed(bytes int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_snapshots_served_total",
+		"Snapshot streams served to bootstrapping replicas.").Inc()
+	m.reg.CounterM("skycube_rebalance_snapshot_bytes_served_total",
+		"Snapshot bytes served to bootstrapping replicas.").Add(float64(bytes))
+	m.reg.HistogramM("skycube_rebalance_snapshot_serve_seconds",
+		"Wall time of serving one snapshot stream (checkpoint included).", nil).Observe(dur.Seconds())
+}
+
+// TailServed records one tail-feed response and how many records it
+// carried.
+func (m *RebalanceMetrics) TailServed(records int, bytes int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_tail_requests_total",
+		"WAL-tail feed requests served.").Inc()
+	m.reg.CounterM("skycube_rebalance_tail_records_served_total",
+		"WAL records served over the tail feed.").Add(float64(records))
+	m.reg.CounterM("skycube_rebalance_tail_bytes_served_total",
+		"Framed tail bytes served over the tail feed.").Add(float64(bytes))
+}
+
+// Bootstrap records one completed replica bootstrap: snapshot fetch,
+// directory materialization and local recovery.
+func (m *RebalanceMetrics) Bootstrap(dur time.Duration, snapshotBytes int, tailRecords int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_bootstraps_total",
+		"Replica bootstraps completed from a peer's snapshot stream.").Inc()
+	m.reg.HistogramM("skycube_rebalance_bootstrap_seconds",
+		"Wall time of one snapshot-streamed bootstrap.", nil).Observe(dur.Seconds())
+	m.reg.CounterM("skycube_rebalance_bootstrap_bytes_total",
+		"Snapshot bytes fetched by bootstraps.").Add(float64(snapshotBytes))
+	m.reg.CounterM("skycube_rebalance_bootstrap_tail_records_total",
+		"Tail records applied during bootstraps.").Add(float64(tailRecords))
+}
+
+// CatchUp records one tail catch-up round against a peer and whether it
+// reached the peer's durable frontier.
+func (m *RebalanceMetrics) CatchUp(records int, caughtUp bool) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_catchup_rounds_total",
+		"Tail catch-up rounds pulled from a peer.").Inc()
+	m.reg.CounterM("skycube_rebalance_catchup_records_total",
+		"WAL records applied by tail catch-up.").Add(float64(records))
+	if caughtUp {
+		m.reg.CounterM("skycube_rebalance_catchup_converged_total",
+			"Catch-up rounds that reached the peer's frontier.").Inc()
+	}
+}
+
+// MapSwap records one shard-map generation swap and the new topology size.
+func (m *RebalanceMetrics) MapSwap(gen uint64, shards int) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_map_swaps_total",
+		"Shard-map generation swaps (join, split, drain cutover).").Inc()
+	m.reg.GaugeM("skycube_rebalance_map_generation",
+		"Current shard-map generation.").Set(float64(gen))
+	m.reg.GaugeM("skycube_rebalance_map_shards",
+		"Shard groups in the current map.").Set(float64(shards))
+}
+
+// StaleGen records one request answered 409 for carrying an outdated map
+// generation (the sender refreshes its map and retries).
+func (m *RebalanceMetrics) StaleGen() {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_stale_generation_total",
+		"Requests rejected for carrying a stale shard-map generation.").Inc()
+}
+
+// Prune records one ownership prune pass on a shard: points examined and
+// points deleted because the ring assigns them elsewhere.
+func (m *RebalanceMetrics) Prune(examined, deleted int, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	m.reg.CounterM("skycube_rebalance_prunes_total",
+		"Ownership prune passes completed after a cutover.").Inc()
+	m.reg.CounterM("skycube_rebalance_pruned_points_total",
+		"Points deleted by ownership pruning (now owned by another shard).").Add(float64(deleted))
+	m.reg.CounterM("skycube_rebalance_prune_examined_total",
+		"Live points examined by ownership pruning.").Add(float64(examined))
+	m.reg.HistogramM("skycube_rebalance_prune_seconds",
+		"Wall time of one ownership prune pass.", nil).Observe(dur.Seconds())
+}

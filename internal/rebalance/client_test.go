@@ -1,0 +1,58 @@
+package rebalance
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFreshnessCarriesIDSegments pins the /shard/info fields a joiner needs
+// to adopt its peer's id scheme: a stride-2 partition segment plus a sealed
+// split block must round-trip through Freshness, and a payload without
+// segments (a plain node) must leave the slice nil.
+func TestFreshnessCarriesIDSegments(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/shard/info" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"live":2000,"epoch":7,"wal_seq":3,"records":15,` +
+			`"id_segments":[{"start":0,"base":0,"stride":2},` +
+			`{"start":2001,"base":268435456,"stride":1}]}`))
+	}))
+	defer srv.Close()
+
+	f, err := (&Client{}).Freshness(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch != 7 || f.Live != 2000 || f.Records != 15 {
+		t.Fatalf("frontier fields = %+v", f)
+	}
+	want := []IDSegment{{Start: 0, Base: 0, Stride: 2}, {Start: 2001, Base: 268435456, Stride: 1}}
+	if len(f.IDSegments) != len(want) {
+		t.Fatalf("segments = %+v, want %+v", f.IDSegments, want)
+	}
+	for i, s := range f.IDSegments {
+		if s != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestFreshnessWithoutSegments(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"live":10,"epoch":1}`))
+	}))
+	defer srv.Close()
+
+	f, err := (&Client{}).Freshness(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.IDSegments != nil {
+		t.Fatalf("plain node reported segments: %+v", f.IDSegments)
+	}
+}

@@ -1,0 +1,224 @@
+// Package rebalance is the elastic-membership control plane: it moves a
+// shard's durable state between nodes so the cluster can grow, split and
+// heal without stopping traffic.
+//
+// The mechanism is a snapshot-streamed bootstrap. A source shard serves its
+// newest checkpoint verbatim (GET /shard/snapshot) and the CRC-framed
+// records of the WAL segments after it (GET /shard/tail?from=&skip=); a
+// joining node materializes a local data directory from the snapshot
+// (wal.WriteBootstrap), boots it through the ordinary crash-recovery path,
+// and then replays the peer's tail through its own journaled updater — so
+// the catch-up itself is durable locally, and a crash mid-join recovers to
+// a consistent prefix. The (from, skip) cursor makes the tail feed exactly
+// once and resumable; a peer checkpoint that truncates the chain surfaces
+// as wal.ErrTailTruncated and the join restarts from a fresh snapshot.
+//
+// The same primitives serve anti-entropy: a restarted replica compares its
+// recovered epoch against its peers' /shard/info freshness (Behind) and, if
+// it missed writes while down, wipes its stale directory and re-bootstraps
+// from the freshest peer before it ever reports ready.
+package rebalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"skycube/internal/delta"
+	"skycube/internal/obs"
+	"skycube/internal/wal"
+)
+
+// Options configure one Join/Bootstrap.
+type Options struct {
+	// Dir is the joining node's data directory; it must hold no WAL state
+	// (use wal.WipeForRejoin to discard a stale one first).
+	Dir string
+	// Peer is the source shard's base URL ("http://host:port").
+	Peer string
+	// Client fetches the streams; nil uses a default client.
+	Client *Client
+	// Delta configures the rebuilt updater (threads, compaction, history) —
+	// the same options the node would pass to a fresh build.
+	Delta delta.Options
+	// WAL configures the local store (fsync policy, checkpoint cadence);
+	// Dir is overridden with Options.Dir.
+	WAL wal.Options
+	// Metrics, if non-nil, receives skycube_rebalance_* observations.
+	Metrics *obs.RebalanceMetrics
+	// Logger, if non-nil, logs join progress.
+	Logger *log.Logger
+}
+
+// Cursor is the resumable position in a peer's tail chain: records of
+// segments >= From, skipping the first Skip already applied.
+type Cursor struct {
+	From uint64
+	Skip int
+}
+
+// Node is a joined (or joining) replica: a recovered updater and store plus
+// the catch-up cursor against its source peer. The caller wraps Updater and
+// Store into a serving node (skycube.AdoptUpdater) once caught up — and
+// only starts background compaction then, so replayed records stay the only
+// driver of epoch advances during catch-up.
+type Node struct {
+	Updater  *delta.Updater
+	Store    *wal.Store
+	Replayed int
+	Cursor   Cursor
+
+	opt Options
+}
+
+// Join bootstraps a node from the peer's snapshot stream: fetch and verify
+// the snapshot, materialize the data directory, and boot it through the
+// ordinary recovery path (Open, NewUpdaterFrom, Replay, AttachJournal,
+// AttachUpdater). The returned node is a consistent copy of the peer at the
+// snapshot's pinned epoch; CatchUp replays what the peer accepted since.
+func Join(ctx context.Context, opt Options) (*Node, error) {
+	if opt.Dir == "" || opt.Peer == "" {
+		return nil, fmt.Errorf("rebalance: join needs a data directory and a peer")
+	}
+	start := time.Now()
+	raw, seq, err := opt.Client.Snapshot(ctx, opt.Peer)
+	if err != nil {
+		return nil, err
+	}
+	if err := wal.WriteBootstrap(opt.Dir, raw, nil); err != nil {
+		return nil, err
+	}
+	wopt := opt.WAL
+	wopt.Dir = opt.Dir
+	if wopt.Logger == nil {
+		wopt.Logger = opt.Logger
+	}
+	store, rec, err := wal.Open(wopt)
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		store.Close()
+		return nil, fmt.Errorf("rebalance: bootstrap directory %s recovered no state", opt.Dir)
+	}
+	fail := func(err error) (*Node, error) {
+		store.Close()
+		return nil, err
+	}
+	du, err := delta.NewUpdaterFrom(rec.State, opt.Delta)
+	if err != nil {
+		return fail(fmt.Errorf("rebalance: rebuild from %s snapshot: %w", opt.Peer, err))
+	}
+	replayed, err := store.Replay(du)
+	if err != nil {
+		du.Close()
+		return fail(fmt.Errorf("rebalance: replay: %w", err))
+	}
+	du.AttachJournal(store)
+	store.AttachUpdater(du)
+	opt.Metrics.Bootstrap(time.Since(start), len(raw), replayed)
+	if opt.Logger != nil {
+		opt.Logger.Printf("rebalance: joined from %s at epoch %d (%d snapshot bytes, segment %d) in %v",
+			opt.Peer, du.Current().Epoch(), len(raw), seq, time.Since(start))
+	}
+	return &Node{
+		Updater:  du,
+		Store:    store,
+		Replayed: replayed,
+		Cursor:   Cursor{From: seq, Skip: 0},
+		opt:      opt,
+	}, nil
+}
+
+// CatchUpOnce pulls one tail round from the peer and applies it through the
+// node's journaled updater (batch-reply records mirror into the local
+// store, so idempotent-retry dedup survives on the copy too). It returns
+// how many records were applied and whether the round found the peer's
+// frontier already reached (an empty round).
+func (n *Node) CatchUpOnce(ctx context.Context) (applied int, caughtUp bool, err error) {
+	recs, total, err := n.opt.Client.Tail(ctx, n.opt.Peer, n.Cursor.From, n.Cursor.Skip)
+	if err != nil {
+		return 0, false, err
+	}
+	applied, err = wal.Apply(n.Updater, recs, func(id string, status int, body []byte) error {
+		return n.Store.LogBatch(id, status, body)
+	})
+	n.Cursor.Skip += applied
+	caughtUp = len(recs) == 0
+	n.opt.Metrics.CatchUp(applied, caughtUp)
+	if err != nil {
+		return applied, false, fmt.Errorf("rebalance: catch-up from %s: %w", n.opt.Peer, err)
+	}
+	if n.Cursor.Skip != total {
+		return applied, false, fmt.Errorf("rebalance: catch-up cursor %d does not match chain total %d",
+			n.Cursor.Skip, total)
+	}
+	return applied, caughtUp, nil
+}
+
+// CatchUp pulls tail rounds until one comes back empty — the peer's durable
+// frontier at that moment. Under continuous peer writes the frontier moves;
+// callers wanting a hard convergence point quiesce the peer first (the
+// coordinator's split cutover gates writes around its final CatchUp).
+func (n *Node) CatchUp(ctx context.Context) (int, error) {
+	totalApplied := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return totalApplied, err
+		}
+		applied, caughtUp, err := n.CatchUpOnce(ctx)
+		totalApplied += applied
+		if err != nil {
+			return totalApplied, err
+		}
+		if caughtUp {
+			return totalApplied, nil
+		}
+	}
+}
+
+// Close releases the node without serving: background loops stop and the
+// store syncs and closes. The data directory remains bootable.
+func (n *Node) Close() {
+	n.Updater.Close()
+	n.Store.Close()
+}
+
+// bootstrapAttempts bounds how often Bootstrap restarts after the peer's
+// checkpoint truncates the tail chain mid-join.
+const bootstrapAttempts = 3
+
+// Bootstrap is Join plus CatchUp, restarting from a fresh snapshot when the
+// peer's checkpointing truncates the tail chain mid-join (rare: it requires
+// a full checkpoint interval of writes to land during the join).
+func Bootstrap(ctx context.Context, opt Options) (*Node, error) {
+	var lastErr error
+	for attempt := 0; attempt < bootstrapAttempts; attempt++ {
+		if attempt > 0 {
+			if err := wal.WipeForRejoin(opt.Dir); err != nil {
+				return nil, err
+			}
+		}
+		n, err := Join(ctx, opt)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := n.CatchUp(ctx); err != nil {
+			n.Close()
+			lastErr = err
+			if errors.Is(err, wal.ErrTailTruncated) {
+				continue
+			}
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("rebalance: bootstrap from %s failed after %d attempts: %w",
+		opt.Peer, bootstrapAttempts, lastErr)
+}

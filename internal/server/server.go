@@ -277,6 +277,15 @@ type healthResponse struct {
 	Ready  bool   `json:"ready"`
 	Mode   string `json:"mode"`            // "static" or "maintenance"
 	Epoch  uint64 `json:"epoch,omitempty"` // serving epoch in maintenance mode
+
+	// Durability freshness (present only for WAL-backed updaters): where
+	// this node's recovered state sits relative to its log. Anti-entropy
+	// compares these against peers to decide whether a restarted replica
+	// missed writes while it was down.
+	WALSeq      uint64 `json:"wal_seq,omitempty"`      // active segment seq
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"` // newest checkpoint's seq
+	Replayed    int    `json:"replayed,omitempty"`     // records replayed at boot
+	Records     uint64 `json:"records,omitempty"`      // records journaled since boot
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +296,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Updater != nil {
 		resp.Mode = "maintenance"
 		resp.Epoch = s.opt.Updater.Current().Epoch()
+	}
+	if s.wal != nil {
+		resp.WALSeq = s.wal.Seq()
+		resp.SnapshotSeq = s.wal.SnapshotSeq()
+		resp.Replayed = s.opt.Updater.Replayed()
+		resp.Records = s.wal.Records()
 	}
 	if !resp.Ready {
 		resp.Status = "unavailable"

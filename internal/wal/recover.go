@@ -124,6 +124,7 @@ func Open(opt Options) (*Store, *Recovered, error) {
 		return nil, nil, err
 	}
 	s := newStore(opt, f, active, off)
+	s.snapSeq = sd.tailSeq
 	for _, id := range sd.batchOrder {
 		s.rememberLocked(id, sd.batches[id])
 	}
@@ -260,6 +261,13 @@ func decodeSegmentFile(path string, seq uint64) ([]Record, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	return decodeSegmentBytes(raw, seq)
+}
+
+// decodeSegmentBytes decodes a whole segment image already in memory (the
+// tail streamer reads the active segment under the append lock and decodes
+// it after releasing).
+func decodeSegmentBytes(raw []byte, seq uint64) ([]Record, int64, error) {
 	if len(raw) < segHeaderLen || string(raw[:8]) != segMagic {
 		return nil, 0, fmt.Errorf("not a WAL segment")
 	}
@@ -319,6 +327,32 @@ func (s *Store) Replay(u *delta.Updater) (int, error) {
 	start := time.Now()
 	records := s.tailRecords
 	s.tailRecords = nil
+	// Batch records were already folded into the mirror at Open, so no
+	// batch sink is needed here.
+	n, err := Apply(u, records, nil)
+	if err != nil {
+		return n, err
+	}
+	s.opt.Metrics.Recovery(time.Since(start), len(records), u.Current().Epoch())
+	if s.opt.Logger != nil && len(records) > 0 {
+		s.opt.Logger.Printf("wal: replayed %d records to epoch %d in %v",
+			len(records), u.Current().Epoch(), time.Since(start))
+	}
+	return len(records), nil
+}
+
+// Apply drives decoded WAL records through the updater's ordinary mutation
+// path, verifying each record's effect exactly as crash recovery does:
+// inserts must be assigned the recorded id, epoch markers must produce the
+// recorded epoch and live count. Batch-reply records are handed to the
+// batch sink when one is given (a replica catching up from a peer's tail
+// mirrors them into its own store) and skipped otherwise. It returns how
+// many records were applied before the first failure.
+//
+// Unlike Replay, Apply may run with a journal attached: a joining replica
+// applies a peer's tail through its own journaled updater, making the
+// catch-up itself durable.
+func Apply(u *delta.Updater, records []Record, batch func(id string, status int, body []byte) error) (int, error) {
 	for i, r := range records {
 		switch r.Type {
 		case recInsert:
@@ -345,15 +379,14 @@ func (s *Store) Replay(u *delta.Updater) (int, error) {
 					i, r.Epoch, r.Live, snap.Epoch(), snap.Live())
 			}
 		case recBatch:
-			// Already folded into the batch mirror at Open.
+			if batch != nil {
+				if err := batch(r.BatchID, r.Status, r.Body); err != nil {
+					return i, fmt.Errorf("wal: replay record %d: batch %q: %w", i, r.BatchID, err)
+				}
+			}
 		default:
 			return i, fmt.Errorf("wal: replay record %d: unknown type %d", i, r.Type)
 		}
-	}
-	s.opt.Metrics.Recovery(time.Since(start), len(records), u.Current().Epoch())
-	if s.opt.Logger != nil && len(records) > 0 {
-		s.opt.Logger.Printf("wal: replayed %d records to epoch %d in %v",
-			len(records), u.Current().Epoch(), time.Since(start))
 	}
 	return len(records), nil
 }

@@ -28,7 +28,31 @@ func writeSnapshotFile(path string, tailSeq uint64, st delta.RestoreState,
 		return 0, err
 	}
 	w := &crcWriter{w: bufio.NewWriterSize(f, 1<<16)}
+	encodeSnapshotBody(w, tailSeq, st, batches, batchOrder)
+	if w.err != nil {
+		f.Close()
+		return 0, w.err
+	}
+	if err := w.w.(*bufio.Writer).Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	return w.n, nil
+}
 
+// encodeSnapshotBody writes the full snapshot wire encoding — fields and
+// trailing whole-stream CRC — through w. It is shared by the on-disk
+// checkpoint writer and the snapshot-stream encoder, so a served snapshot
+// is byte-compatible with a checkpoint file.
+func encodeSnapshotBody(w *crcWriter, tailSeq uint64, st delta.RestoreState,
+	batches map[string]BatchReply, batchOrder []string) {
 	w.bytes([]byte(snapMagic))
 	w.u64(tailSeq)
 	w.u64(st.Epoch)
@@ -70,23 +94,6 @@ func writeSnapshotFile(path string, tailSeq uint64, st delta.RestoreState,
 	}
 	sum := w.crc
 	w.u32(sum)
-
-	if w.err != nil {
-		f.Close()
-		return 0, w.err
-	}
-	if err := w.w.(*bufio.Writer).Flush(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		return 0, err
-	}
-	return w.n, nil
 }
 
 // crcWriter tracks a running CRC32C and byte count over the written
@@ -142,6 +149,13 @@ func readSnapshotFile(path string) (*snapshotData, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeSnapshot(raw, path)
+}
+
+// decodeSnapshot verifies and decodes one snapshot encoding (a checkpoint
+// file's bytes, or the same bytes received over a snapshot stream). path
+// only labels errors.
+func decodeSnapshot(raw []byte, path string) (*snapshotData, error) {
 	if len(raw) < len(snapMagic)+4 || string(raw[:len(snapMagic)]) != snapMagic {
 		return nil, fmt.Errorf("wal: %s: not a snapshot file", path)
 	}

@@ -86,6 +86,7 @@ type Store struct {
 	synced  int64  // bytes known fsynced for the active segment
 	count   uint64 // records appended over the store's lifetime
 	sinceCk uint64 // records appended since the last checkpoint
+	snapSeq uint64 // seq of the newest on-disk snapshot (0 before the first)
 	closed  bool
 
 	batches    map[string]BatchReply
@@ -522,6 +523,9 @@ func (s *Store) Checkpoint(u *delta.Updater) error {
 	if err := syncDir(s.dir); err != nil {
 		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
 	}
+	s.mu.Lock()
+	s.snapSeq = newSeq
+	s.mu.Unlock()
 	if s.TestAfterRename != nil {
 		s.TestAfterRename()
 	}

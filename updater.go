@@ -104,18 +104,54 @@ func NewUpdater(ds *Dataset, opt Options) (*Updater, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("skycube: nil dataset")
 	}
-	if opt.Algorithm != MDMC {
-		return nil, fmt.Errorf("skycube: incremental maintenance requires the MDMC algorithm, not %v", opt.Algorithm)
-	}
 	if opt.MaxLevel != 0 && opt.MaxLevel < ds.ds.Dims {
 		return nil, fmt.Errorf("skycube: incremental maintenance requires a full skycube (MaxLevel 0, not %d)", opt.MaxLevel)
+	}
+	dopt, err := maintenanceOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Durable.Dir == "" {
+		return &Updater{u: delta.NewUpdater(ds.ds, dopt)}, nil
+	}
+	return newDurableUpdater(ds, opt, dopt)
+}
+
+// OpenUpdater recovers an updater purely from opt.Durable.Dir — no
+// dataset: the newest valid checkpoint restores the state and the WAL tail
+// replays through the ordinary mutation path. It refuses a directory with
+// nothing to recover; a first build needs the data and goes through
+// NewUpdater. Durable restarts use this — the initial checkpoint made the
+// directory self-contained, so the original data file is never consulted
+// again (and a node bootstrapped from a peer's snapshot stream never had
+// one).
+func OpenUpdater(opt Options) (*Updater, error) {
+	if opt.Durable.Dir == "" {
+		return nil, fmt.Errorf("skycube: OpenUpdater requires Options.Durable.Dir")
+	}
+	if opt.MaxLevel != 0 {
+		return nil, fmt.Errorf("skycube: incremental maintenance requires a full skycube (MaxLevel 0, not %d)", opt.MaxLevel)
+	}
+	dopt, err := maintenanceOptions(opt)
+	if err != nil {
+		return nil, err
+	}
+	return newDurableUpdater(nil, opt, dopt)
+}
+
+// maintenanceOptions validates the algorithm choice and translates Options
+// into the delta engine's configuration (shared by NewUpdater and
+// OpenUpdater).
+func maintenanceOptions(opt Options) (delta.Options, error) {
+	if opt.Algorithm != MDMC {
+		return delta.Options{}, fmt.Errorf("skycube: incremental maintenance requires the MDMC algorithm, not %v", opt.Algorithm)
 	}
 	threads := opt.threads()
 	var devices []hetero.Device
 	if len(opt.GPUs) > 0 {
 		devices, _ = buildDevices(opt, threads)
 	}
-	dopt := delta.Options{
+	return delta.Options{
 		Threads:           threads,
 		Devices:           devices,
 		CompactFraction:   opt.Delta.CompactFraction,
@@ -123,11 +159,7 @@ func NewUpdater(ds *Dataset, opt Options) (*Updater, error) {
 		History:           opt.Delta.History,
 		MinCompactOverlay: opt.Delta.MinCompactOverlay,
 		Metrics:           obs.NewDeltaMetrics(opt.Metrics),
-	}
-	if opt.Durable.Dir == "" {
-		return &Updater{u: delta.NewUpdater(ds.ds, dopt)}, nil
-	}
-	return newDurableUpdater(ds, opt, dopt)
+	}, nil
 }
 
 // newDurableUpdater opens the data directory and either bootstraps it (a
@@ -158,6 +190,9 @@ func newDurableUpdater(ds *Dataset, opt Options, dopt delta.Options) (*Updater, 
 	var du *delta.Updater
 	replayed := 0
 	if rec == nil {
+		if ds == nil {
+			return fail(fmt.Errorf("skycube: %s: nothing to recover (a first build needs the dataset — use NewUpdater)", opt.Durable.Dir))
+		}
 		d := ds.ds.Dims
 		du, err = delta.NewUpdaterFrom(delta.RestoreState{
 			Dims:  d,
@@ -193,6 +228,21 @@ func newDurableUpdater(ds *Dataset, opt Options, dopt delta.Options) (*Updater, 
 	}
 	return &Updater{u: du, store: store, replayed: replayed}, nil
 }
+
+// AdoptUpdater wraps an already-recovered delta updater and its store as a
+// serving Updater. State-transfer tooling (internal/rebalance) builds nodes
+// this way: it materializes a data directory from a peer's snapshot stream,
+// runs the ordinary wal.Open/Replay recovery itself, and hands the result
+// here so the serving layers see exactly what NewUpdater would have built.
+// store may be nil for an in-memory adoption.
+func AdoptUpdater(du *delta.Updater, store *wal.Store, replayed int) *Updater {
+	return &Updater{u: du, store: store, replayed: replayed}
+}
+
+// Delta exposes the underlying incremental updater. State-transfer tooling
+// needs it to checkpoint (wal.Store.Checkpoint) and to replay peer records
+// (wal.Apply) through the exact engine the node serves from.
+func (up *Updater) Delta() *delta.Updater { return up.u }
 
 // Insert buffers one point for the next batch and returns its assigned id.
 // The point becomes visible at the snapshot the next Flush publishes.
