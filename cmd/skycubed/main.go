@@ -125,7 +125,14 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "with -serve: trace one in N requests into /debug/requests (0 = only requests carrying a traceparent header)")
 	slowQuery := flag.Duration("slow-query", 0, "with -serve: log one structured line (with trace id) per request at least this slow (0 = off)")
 	debugRequests := flag.Int("debug-requests", 0, "with -serve: request-ring size behind GET /debug/requests (0 = off unless -trace-sample is set, then 256)")
+	noBlockKernel := flag.Bool("no-block-kernel", false, "use the scalar per-pair dominance kernels instead of the SoA block sweeps (ablation)")
+	noStopPoints := flag.Bool("no-stop-points", false, "keep block sweeps but disable sort-based stop-point termination (ablation)")
 	flag.Parse()
+
+	skycube.SetKernelOptions(skycube.KernelOptions{
+		DisableBlocks:     *noBlockKernel,
+		DisableStopPoints: *noStopPoints,
+	})
 
 	tracing := traceOptions{
 		ring:        requestRing(*traceSample, *debugRequests),

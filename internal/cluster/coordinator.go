@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skycube/internal/dom"
 	"skycube/internal/mask"
 	"skycube/internal/obs"
 	"skycube/internal/rcache"
@@ -220,6 +221,9 @@ type Coordinator struct {
 	client *fanoutClient
 	cm     *obs.ClusterMetrics
 	rbm    *obs.RebalanceMetrics
+	// km folds the process-wide dominance-kernel counters (the merge filter
+	// runs in this process) into the registry at /metrics scrape time.
+	km *obs.KernelMetrics
 	opt    CoordinatorOptions
 	mux    *http.ServeMux
 
@@ -267,6 +271,7 @@ func NewCoordinator(specs []ShardSpec, opt CoordinatorOptions) (*Coordinator, er
 	cm := obs.NewClusterMetrics(opt.Metrics)
 	c := &Coordinator{
 		cm:  cm,
+		km:  obs.NewKernelMetrics(opt.Metrics),
 		opt: opt,
 		client: &fanoutClient{
 			hc:          opt.Client,
@@ -979,6 +984,8 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ks := dom.KernelStats()
+	c.km.Sync(ks.BlockSweeps, ks.StopPointExits, ks.ScalarFallbacks)
 	// Exemplars use OpenMetrics syntax that classic text-format parsers
 	// reject, so they are opt-in per scrape.
 	if r.URL.Query().Get("exemplars") == "1" {

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+// randCandidates builds a candidate union with duplicates, mimicking shard
+// replies (duplicate ids carry identical coordinates, as retries would).
+func randCandidates(rng *rand.Rand, n, d int) []candidate {
+	cands := make([]candidate, 0, n+n/8)
+	for i := 0; i < n; i++ {
+		p := make([]float32, d)
+		for j := range p {
+			p[j] = float32(rng.Intn(16)) / 8 // coarse grid forces ties
+		}
+		cands = append(cands, candidate{id: int32(i), point: p})
+	}
+	for i := 0; i < n/8; i++ {
+		cands = append(cands, cands[rng.Intn(n)])
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return cands
+}
+
+// TestMergeSkylineKernelAblation pins the coordinator's final merge filter:
+// block path and scalar path must return identical id slices on unions
+// straddling the block threshold, across subspaces and trials.
+func TestMergeSkylineKernelAblation(t *testing.T) {
+	defer dom.SetKernelConfig(dom.KernelConfig{})
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 8 + rng.Intn(300) // straddles mergeBlockMin
+		d := 2 + rng.Intn(5)
+		cands := randCandidates(rng, n, d)
+		delta := mask.Mask(1 + rng.Intn(1<<uint(d)-1))
+		for _, stopOff := range []bool{false, true} {
+			dom.SetKernelConfig(dom.KernelConfig{DisableBlocks: true})
+			want := mergeSkyline(append([]candidate(nil), cands...), delta, nil)
+			dom.SetKernelConfig(dom.KernelConfig{DisableStopPoints: stopOff})
+			got := mergeSkyline(append([]candidate(nil), cands...), delta, nil)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (n=%d d=%d δ=%b stopOff=%v): blocks %v, scalar %v",
+					trial, n, d, delta, stopOff, got, want)
+			}
+		}
+	}
+}
+
+// TestFilterMembersKernelAblation pins the shard-side witness filter: the
+// DominatedBitmap path must keep exactly the members the scalar loop keeps,
+// in the same order, with the same filtered count.
+func TestFilterMembersKernelAblation(t *testing.T) {
+	defer dom.SetKernelConfig(dom.KernelConfig{})
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 60; trial++ {
+		n := 8 + rng.Intn(300) // straddles filterBlockMin
+		d := 2 + rng.Intn(5)
+		pts := make([][]float32, n)
+		local := make([]int32, n)
+		for i := range pts {
+			p := make([]float32, d)
+			for j := range p {
+				p[j] = float32(rng.Intn(16)) / 8
+			}
+			pts[i] = p
+			local[i] = int32(i)
+		}
+		nf := 1 + rng.Intn(6)
+		filter := make([][]float32, nf)
+		for i := range filter {
+			f := make([]float32, d)
+			for j := range f {
+				f[j] = float32(rng.Intn(16)) / 8
+			}
+			filter[i] = f
+		}
+		delta := mask.Mask(1 + rng.Intn(1<<uint(d)-1))
+		point := func(r int32) []float32 { return pts[r] }
+		dom.SetKernelConfig(dom.KernelConfig{DisableBlocks: true})
+		wantKept, wantN := filterMembers(local, point, filter, delta)
+		dom.SetKernelConfig(dom.KernelConfig{})
+		gotKept, gotN := filterMembers(local, point, filter, delta)
+		if gotN != wantN || !reflect.DeepEqual(gotKept, wantKept) {
+			t.Fatalf("trial %d (n=%d d=%d δ=%b): blocks kept %d %v, scalar kept %d %v",
+				trial, n, d, delta, gotN, gotKept, wantN, wantKept)
+		}
+	}
+}

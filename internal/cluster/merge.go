@@ -3,9 +3,14 @@ package cluster
 import (
 	"sort"
 
+	"skycube/internal/data"
 	"skycube/internal/dom"
 	"skycube/internal/mask"
 )
+
+// mergeBlockMin is the candidate count below which the final merge filter
+// stays on the scalar O(n²) loop; tiny unions can't amortise block setup.
+const mergeBlockMin = 64
 
 // candidate is one shard-local skyline member: a global point id and its
 // coordinates, shipped together so the coordinator can run dominance tests
@@ -46,6 +51,13 @@ func mergeSkyline(cands []candidate, delta mask.Mask, scratch []int32) []int32 {
 	if cap(out) < len(uniq) {
 		out = make([]int32, 0, len(uniq))
 	}
+	if dom.BlocksEnabled() && len(uniq) >= mergeBlockMin {
+		return mergeSkylineBlocks(uniq, delta, out)
+	}
+	if dom.BlocksEnabled() {
+		t := dom.KernelTally{Fallbacks: 1}
+		t.Flush()
+	}
 	for i, c := range uniq {
 		dominated := false
 		for j, q := range uniq {
@@ -61,5 +73,48 @@ func mergeSkyline(cands []candidate, delta mask.Mask, scratch []int32) []int32 {
 			out = append(out, c.id)
 		}
 	}
+	return out
+}
+
+// mergeSkylineBlocks is the block-kernel form of the final merge filter:
+// the deduplicated union goes into one sum-sorted SoA block set, and each
+// candidate asks for any dominator with a sorted stop point. A point never
+// dominates itself (all-equal fails Definition 1), so no self-exclusion is
+// needed, and the id-ascending output order of the scalar loop is preserved
+// because candidates are emitted in uniq order, not scan order.
+func mergeSkylineBlocks(uniq []candidate, delta mask.Mask, out []int32) []int32 {
+	dims := mask.Dims(delta)
+	k := len(dims)
+	bs := data.GetBlockSet(k, data.DefaultBlockSize)
+	defer data.PutBlockSet(bs)
+
+	sums := make([]float32, len(uniq))
+	ord := make([]int32, len(uniq))
+	for i, c := range uniq {
+		sums[i] = data.SumOver(c.point, dims)
+		ord[i] = int32(i)
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		ia, ib := ord[a], ord[b]
+		if sums[ia] != sums[ib] {
+			return sums[ia] < sums[ib]
+		}
+		return ia < ib
+	})
+	pq := make([]float32, k)
+	for _, i := range ord {
+		data.ProjectInto(pq, uniq[i].point, dims)
+		bs.Append(pq, int32(i), sums[i])
+	}
+
+	useStop := dom.StopPointsEnabled()
+	var tally dom.KernelTally
+	for i, c := range uniq {
+		data.ProjectInto(pq, c.point, dims)
+		if !dom.BlocksAnyDominator(bs, pq, sums[i], false, useStop, &tally) {
+			out = append(out, c.id)
+		}
+	}
+	tally.Flush()
 	return out
 }

@@ -54,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"skycube/internal/data"
 	"skycube/internal/dom"
 	"skycube/internal/mask"
 	"skycube/internal/obs"
@@ -133,6 +134,77 @@ func dominatedByAny(filter [][]float32, p []float32, delta mask.Mask) bool {
 		}
 	}
 	return false
+}
+
+// filterBlockMin is the member count below which the shard-side filter keeps
+// the scalar per-member loop.
+const filterBlockMin = 64
+
+// filterMembers drops the members of local that any filter point dominates
+// in δ, returning the survivors (in local's order) and the drop count. The
+// block path packs the members into SoA blocks and crosses off each filter
+// point's victims 64 lanes at a time with DominatedBitmap; both paths keep
+// exactly the same members in the same order.
+func filterMembers(local []int32, point func(int32) []float32, filter [][]float32, delta mask.Mask) ([]int32, int) {
+	if dom.BlocksEnabled() && len(local) >= filterBlockMin {
+		return filterMembersBlocks(local, point, filter, delta)
+	}
+	if dom.BlocksEnabled() {
+		t := dom.KernelTally{Fallbacks: 1}
+		t.Flush()
+	}
+	kept := make([]int32, 0, len(local))
+	filtered := 0
+	for _, row := range local {
+		if dominatedByAny(filter, point(row), delta) {
+			filtered++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	return kept, filtered
+}
+
+// filterMembersBlocks is the block-kernel form of filterMembers. Members go
+// into blocks in local order (sums are irrelevant here — no stop points, the
+// scan is witness-outer), each filter point marks its victims with one
+// DominatedBitmap sweep per block, and surviving lanes come back out in
+// append order, so the kept slice is byte-identical to the scalar loop's.
+func filterMembersBlocks(local []int32, point func(int32) []float32, filter [][]float32, delta mask.Mask) ([]int32, int) {
+	dims := mask.Dims(delta)
+	bs := data.GetBlockSet(len(dims), data.DefaultBlockSize)
+	defer data.PutBlockSet(bs)
+	pq := make([]float32, len(dims))
+	for _, row := range local {
+		data.ProjectInto(pq, point(row), dims)
+		bs.Append(pq, row, 0)
+	}
+
+	var tally dom.KernelTally
+	words := (data.DefaultBlockSize + 63) / 64
+	drop := make([]uint64, words)
+	sweep := make([]uint64, words)
+	kept := make([]int32, 0, len(local))
+	for _, b := range bs.Blocks {
+		bw := (b.N + 63) >> 6
+		for w := 0; w < bw; w++ {
+			drop[w] = 0
+		}
+		for _, f := range filter {
+			data.ProjectInto(pq, f, dims)
+			dom.DominatedBitmap(b, pq, false, sweep[:bw], &tally)
+			for w := 0; w < bw; w++ {
+				drop[w] |= sweep[w]
+			}
+		}
+		for lane := 0; lane < b.N; lane++ {
+			if drop[lane>>6]&(1<<uint(lane&63)) == 0 {
+				kept = append(kept, b.Rows[lane])
+			}
+		}
+	}
+	tally.Flush()
+	return kept, len(local) - len(kept)
 }
 
 // shardMeta is one shard's prelude contribution: its local cuboid size and

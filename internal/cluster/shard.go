@@ -339,15 +339,7 @@ func (s *Shard) handleCuboid(w http.ResponseWriter, r *http.Request) {
 			filtered := 0
 			if len(filter) > 0 {
 				pruneStart := rec.Since()
-				kept := make([]int32, 0, len(local))
-				for _, row := range local {
-					if dominatedByAny(filter, snap.Point(row), delta) {
-						filtered++
-						continue
-					}
-					kept = append(kept, row)
-				}
-				local = kept
+				local, filtered = filterMembers(local, snap.Point, filter, delta)
 				rec.Event(obs.Event{Kind: obs.EvPrune, Start: pruneStart,
 					Dur: rec.Since() - pruneStart, N: int64(filtered)})
 			}

@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"skycube/internal/dom"
 	"skycube/internal/mask"
 )
 
@@ -84,6 +83,24 @@ func TestNormalizeRangesAndDirections(t *testing.T) {
 	}
 }
 
+// dominatesIn is a local Definition-1 oracle: internal/dom now imports this
+// package (the block kernels operate on data.Block), so the test cannot.
+func dominatesIn(p, q []float32, delta mask.Mask) bool {
+	strict := false
+	for j := range p {
+		if delta&(1<<uint(j)) == 0 {
+			continue
+		}
+		if p[j] > q[j] {
+			return false
+		}
+		if p[j] < q[j] {
+			strict = true
+		}
+	}
+	return strict
+}
+
 func TestNormalizePreservesDominance(t *testing.T) {
 	ds := FromRows([][]float32{
 		{3, 50}, {1, 80}, {2, 20}, {3, 80},
@@ -103,8 +120,8 @@ func TestNormalizePreservesDominance(t *testing.T) {
 				continue
 			}
 			for _, delta := range mask.Subspaces(2) {
-				a := dom.DominatesIn(norm.Point(p), norm.Point(q), delta)
-				b := dom.DominatesIn(oriented.Point(p), oriented.Point(q), delta)
+				a := dominatesIn(norm.Point(p), norm.Point(q), delta)
+				b := dominatesIn(oriented.Point(p), oriented.Point(q), delta)
 				if a != b {
 					t.Fatalf("dominance changed: p=%d q=%d δ=%b", p, q, delta)
 				}

@@ -819,6 +819,7 @@ func (u *Updater) applyLocked() *Snapshot {
 			go func() {
 				defer wg.Done()
 				sol := templates.NewSolution(u.mctx)
+				defer sol.FlushKernelTally()
 				exp := newExpander(total)
 				for {
 					i := int(atomic.AddInt64(&next, 1)) - 1

@@ -1,0 +1,248 @@
+// Block dominance kernels: branch-free 64-lane bitmask sweeps over the SoA
+// layout of internal/data, plus sorted stop-point termination.
+//
+// The scalar kernels in dom.go compare one pair of points with a per-point
+// early exit; profitable when most comparisons fail fast, but every test
+// pays a call, a strided row load and unpredictable branches. The block
+// kernels amortise that: one query point against a whole block is d
+// sequential column sweeps accumulating lt/le verdict words, exactly the
+// compare-to-mask shape VSkyline vectorises and the GPU specialisation
+// coalesces. Combined with ascending δ-sum block order (Ciaccia &
+// Martinenghi's sort-based filtering), a scan also gains a stop point: once
+// the next block's minimum sum exceeds the query's, no later lane can
+// dominate it and the sweep terminates.
+//
+// The lane loops run a fixed 64 iterations on full words (the constant trip
+// count is what lets the compiler unroll and drop bounds checks — measured
+// faster than both a SETcc accumulation and a float-bits sign extraction),
+// with per-point early exit only at word granularity: a column sweep stops
+// when the whole word's verdict is already zero.
+//
+// Every kernel is bit-for-bit equivalent to the scalar loop it replaces
+// (FuzzBlockKernelEquivalence enforces this); dominance semantics are those
+// of Definition 1 with the projection already applied, i.e. the block's K
+// columns ARE the subspace δ.
+package dom
+
+import (
+	"skycube/internal/data"
+	"skycube/internal/mask"
+)
+
+// blockDomWord computes the 64-lane dominance verdict for word w of block b
+// against the projected query pq (len ≥ number of columns): bit i is set iff
+// the lane's point dominates pq over all K columns — strictly (every column
+// less) when strict, else Definition 1 (every column ≤, at least one <).
+// Dead lanes report 0.
+func blockDomWord(b *data.Block, w int, pq []float32, strict bool) uint64 {
+	base := w << 6
+	cnt := b.N - base
+	if cnt <= 0 {
+		return 0
+	}
+	if cnt > 64 {
+		cnt = 64
+	}
+	alive := b.Alive[w]
+	if alive == 0 {
+		return 0
+	}
+	if strict {
+		ltAll := alive
+		for j, col := range b.Cols {
+			pv := pq[j]
+			var lt uint64
+			if cnt == 64 {
+				sub := col[base : base+64 : base+64]
+				for i := 0; i < 64; i++ {
+					if sub[i] < pv {
+						lt |= 1 << uint(i)
+					}
+				}
+			} else {
+				for i, v := range col[base : base+cnt] {
+					if v < pv {
+						lt |= 1 << uint(i)
+					}
+				}
+			}
+			ltAll &= lt
+			if ltAll == 0 {
+				return 0
+			}
+		}
+		return ltAll
+	}
+	leqAll := alive
+	var ltAny uint64
+	for j, col := range b.Cols {
+		pv := pq[j]
+		var lt, le uint64
+		if cnt == 64 {
+			sub := col[base : base+64 : base+64]
+			for i := 0; i < 64; i++ {
+				v := sub[i]
+				if v < pv {
+					lt |= 1 << uint(i)
+				}
+				if v <= pv {
+					le |= 1 << uint(i)
+				}
+			}
+		} else {
+			for i, v := range col[base : base+cnt] {
+				if v < pv {
+					lt |= 1 << uint(i)
+				}
+				if v <= pv {
+					le |= 1 << uint(i)
+				}
+			}
+		}
+		leqAll &= le
+		if leqAll == 0 {
+			return 0
+		}
+		ltAny |= lt
+	}
+	return leqAll & ltAny
+}
+
+// AnyDominatorIn reports whether any live lane of b dominates the projected
+// query pq, sweeping word by word.
+func AnyDominatorIn(b *data.Block, pq []float32, strict bool, t *KernelTally) bool {
+	words := (b.N + 63) >> 6
+	for w := 0; w < words; w++ {
+		t.Sweeps++
+		if blockDomWord(b, w, pq, strict) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BlocksAnyDominator scans a block set for a dominator of pq whose δ-sum is
+// psum. With useStop set the set must be in ascending-sum append order
+// (data.SortedBlocksOf, or caller-maintained): the scan stops at the first
+// block whose MinSum exceeds psum, because float32 sum monotonicity
+// guarantees every dominator of pq sums to at most psum.
+func BlocksAnyDominator(bs *data.BlockSet, pq []float32, psum float32, strict bool, useStop bool, t *KernelTally) bool {
+	for _, b := range bs.Blocks {
+		if useStop && b.MinSum() > psum {
+			t.StopExits++
+			return false
+		}
+		if AnyDominatorIn(b, pq, strict, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// DominatedBitmap writes into out (len ≥ ⌈b.N/64⌉ words) the lanes of b that
+// the projected query pq dominates — the reverse direction of AnyDominatorIn,
+// used to cross one dominance witness off a whole block of members at once.
+func DominatedBitmap(b *data.Block, pq []float32, strict bool, out []uint64, t *KernelTally) {
+	words := (b.N + 63) >> 6
+	for w := 0; w < words; w++ {
+		t.Sweeps++
+		base := w << 6
+		cnt := b.N - base
+		if cnt > 64 {
+			cnt = 64
+		}
+		alive := b.Alive[w]
+		if alive == 0 {
+			out[w] = 0
+			continue
+		}
+		if strict {
+			gtAll := alive
+			for j, col := range b.Cols {
+				pv := pq[j]
+				var gt uint64
+				if cnt == 64 {
+					sub := col[base : base+64 : base+64]
+					for i := 0; i < 64; i++ {
+						if pv < sub[i] {
+							gt |= 1 << uint(i)
+						}
+					}
+				} else {
+					for i, v := range col[base : base+cnt] {
+						if pv < v {
+							gt |= 1 << uint(i)
+						}
+					}
+				}
+				gtAll &= gt
+				if gtAll == 0 {
+					break
+				}
+			}
+			out[w] = gtAll
+			continue
+		}
+		geqAll := alive
+		var gtAny uint64
+		for j, col := range b.Cols {
+			pv := pq[j]
+			var gt, ge uint64
+			if cnt == 64 {
+				sub := col[base : base+64 : base+64]
+				for i := 0; i < 64; i++ {
+					v := sub[i]
+					if pv < v {
+						gt |= 1 << uint(i)
+					}
+					if pv <= v {
+						ge |= 1 << uint(i)
+					}
+				}
+			} else {
+				for i, v := range col[base : base+cnt] {
+					if pv < v {
+						gt |= 1 << uint(i)
+					}
+					if pv <= v {
+						ge |= 1 << uint(i)
+					}
+				}
+			}
+			geqAll &= ge
+			if geqAll == 0 {
+				break
+			}
+			gtAny |= gt
+		}
+		out[w] = geqAll & gtAny
+	}
+}
+
+// CompareBlock computes Compare(point q, pp) for every q in the half-open
+// leaf-sorted range [lo, hi) of the column-major view cols (cols[j][q] is
+// point q's coordinate on dimension j), writing the Rel masks into
+// out[:hi-lo]. It is the SoA form of the MDMC refine DT: dimensions-outer,
+// so each column is one sequential sweep, and the two independent compares
+// per lane mirror Compare's branch-free accumulation exactly.
+func CompareBlock(cols [][]float32, lo, hi int, pp []float32, out []Rel) {
+	n := hi - lo
+	for i := 0; i < n; i++ {
+		out[i] = Rel{}
+	}
+	for j, col := range cols {
+		pv := pp[j]
+		bit := uint(j)
+		for i, v := range col[lo:hi] {
+			var l, e mask.Mask
+			if v < pv {
+				l = 1
+			}
+			if v == pv {
+				e = 1
+			}
+			out[i].Lt |= l << bit
+			out[i].Eq |= e << bit
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/mask"
+)
+
+// lanePoint reconstructs the projected coordinates of one lane.
+func lanePoint(b *data.Block, lane int, buf []float32) []float32 {
+	buf = buf[:0]
+	for _, col := range b.Cols {
+		buf = append(buf, col[lane])
+	}
+	return buf
+}
+
+// scalarAnyDominator is the reference loop the block kernels must match.
+func scalarAnyDominator(bs *data.BlockSet, pq []float32, strict bool) bool {
+	full := mask.Full(bs.K)
+	buf := make([]float32, bs.K)
+	for _, b := range bs.Blocks {
+		for lane := 0; lane < b.N; lane++ {
+			if !b.IsAlive(lane) {
+				continue
+			}
+			r := Compare(lanePoint(b, lane, buf), pq)
+			if strict {
+				if RelStrictlyDominates(r, full) {
+					return true
+				}
+			} else if RelDominates(r, full) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func randBlockSet(rng *rand.Rand, k, n, blockSize int, grid int) ([]float32, *data.BlockSet) {
+	pts := make([][]float32, n)
+	dims := make([]int, k)
+	for j := range dims {
+		dims[j] = j
+	}
+	for i := range pts {
+		p := make([]float32, k)
+		for j := range p {
+			p[j] = float32(rng.Intn(grid)) / float32(grid)
+		}
+		pts[i] = p
+	}
+	ds := data.FromRows(pts)
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	bs := data.SortedBlocksOf(ds, rows, dims, blockSize)
+	q := make([]float32, k)
+	for j := range q {
+		q[j] = float32(rng.Intn(grid)) / float32(grid)
+	}
+	return q, bs
+}
+
+func TestBlockKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tally KernelTally
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(400)
+		grid := []int{2, 4, 16, 1024}[rng.Intn(4)]
+		pq, bs := randBlockSet(rng, k, n, 64+64*rng.Intn(4), grid)
+		// Kill a random subset so the Alive masking is exercised.
+		for _, b := range bs.Blocks {
+			for lane := 0; lane < b.N; lane++ {
+				if rng.Intn(5) == 0 {
+					b.Kill(lane)
+				}
+			}
+		}
+		for _, strict := range []bool{false, true} {
+			want := scalarAnyDominator(bs, pq, strict)
+			got := BlocksAnyDominator(bs, pq, 0, strict, false, &tally)
+			if got != want {
+				t.Fatalf("trial %d strict=%v: block %v, scalar %v", trial, strict, got, want)
+			}
+		}
+		data.PutBlockSet(bs)
+	}
+	tally.Flush()
+}
+
+func TestDominatedBitmapMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tally KernelTally
+	out := make([]uint64, 8)
+	buf := make([]float32, 8)
+	for trial := 0; trial < 300; trial++ {
+		k := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(300)
+		pq, bs := randBlockSet(rng, k, n, 64+64*rng.Intn(4), 8)
+		full := mask.Full(k)
+		for _, strict := range []bool{false, true} {
+			for _, b := range bs.Blocks {
+				DominatedBitmap(b, pq, strict, out, &tally)
+				for lane := 0; lane < b.N; lane++ {
+					q := lanePoint(b, lane, buf)
+					want := false
+					if b.IsAlive(lane) {
+						r := Compare(pq, q)
+						if strict {
+							want = RelStrictlyDominates(r, full)
+						} else {
+							want = RelDominates(r, full)
+						}
+					}
+					got := out[lane>>6]&(1<<uint(lane&63)) != 0
+					if got != want {
+						t.Fatalf("trial %d strict=%v lane %d: bitmap %v, scalar %v", trial, strict, lane, got, want)
+					}
+				}
+			}
+		}
+		data.PutBlockSet(bs)
+	}
+	tally.Flush()
+}
+
+func TestCompareBlockMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(10)
+		n := 1 + rng.Intn(200)
+		cols := make([][]float32, k)
+		for j := range cols {
+			cols[j] = make([]float32, n)
+			for i := range cols[j] {
+				cols[j][i] = float32(rng.Intn(8))
+			}
+		}
+		pp := make([]float32, k)
+		for j := range pp {
+			pp[j] = float32(rng.Intn(8))
+		}
+		lo := rng.Intn(n)
+		hi := lo + rng.Intn(n-lo) + 1
+		out := make([]Rel, hi-lo)
+		CompareBlock(cols, lo, hi, pp, out)
+		buf := make([]float32, k)
+		for i := lo; i < hi; i++ {
+			for j := 0; j < k; j++ {
+				buf[j] = cols[j][i]
+			}
+			if want := Compare(buf, pp); out[i-lo] != want {
+				t.Fatalf("trial %d lane %d: %+v, want %+v", trial, i, out[i-lo], want)
+			}
+		}
+	}
+}
+
+// TestStopPointSound is the soundness check of sorted stop-point filtering:
+// on sum-sorted block sets, stopping at the first block with MinSum > psum
+// must never change the verdict.
+func TestStopPointSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var tally KernelTally
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(400)
+		pq, bs := randBlockSet(rng, k, n, 64, 6)
+		dims := make([]int, k)
+		for j := range dims {
+			dims[j] = j
+		}
+		psum := data.SumOver(pq, dims)
+		noStop := BlocksAnyDominator(bs, pq, psum, false, false, &tally)
+		withStop := BlocksAnyDominator(bs, pq, psum, false, true, &tally)
+		if noStop != withStop {
+			t.Fatalf("trial %d: stop point changed verdict: %v vs %v", trial, withStop, noStop)
+		}
+		sNo := BlocksAnyDominator(bs, pq, psum, true, false, &tally)
+		sStop := BlocksAnyDominator(bs, pq, psum, true, true, &tally)
+		if sNo != sStop {
+			t.Fatalf("trial %d strict: stop point changed verdict: %v vs %v", trial, sStop, sNo)
+		}
+		data.PutBlockSet(bs)
+	}
+	tally.Flush()
+}
+
+func TestKernelConfigRoundTrip(t *testing.T) {
+	defer SetKernelConfig(KernelConfig{})
+	SetKernelConfig(KernelConfig{DisableBlocks: true, DisableStopPoints: true})
+	if BlocksEnabled() || StopPointsEnabled() {
+		t.Fatal("disable flags not honoured")
+	}
+	got := Kernels()
+	if !got.DisableBlocks || !got.DisableStopPoints {
+		t.Fatalf("Kernels() = %+v", got)
+	}
+	SetKernelConfig(KernelConfig{})
+	if !BlocksEnabled() || !StopPointsEnabled() {
+		t.Fatal("zero config should enable everything")
+	}
+}
+
+func TestKernelTallyFlush(t *testing.T) {
+	before := KernelStats()
+	tally := KernelTally{Sweeps: 3, StopExits: 2, Fallbacks: 1}
+	tally.Flush()
+	if tally != (KernelTally{}) {
+		t.Fatalf("tally not zeroed: %+v", tally)
+	}
+	after := KernelStats()
+	if after.BlockSweeps-before.BlockSweeps != 3 ||
+		after.StopPointExits-before.StopPointExits != 2 ||
+		after.ScalarFallbacks-before.ScalarFallbacks != 1 {
+		t.Fatalf("counters did not advance: before %+v after %+v", before, after)
+	}
+}
+
+// Satellite: the Compare length contract is a panic, not silent truncation.
+func TestCompareLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compare on mismatched lengths should panic")
+		}
+	}()
+	Compare([]float32{1, 2, 3}, []float32{1, 2})
+}
+
+// Satellite: aliasing is explicitly allowed — a point compared to itself is
+// all-equal, never a dominator.
+func TestCompareAliasing(t *testing.T) {
+	p := []float32{1, 2, 3, 4}
+	r := Compare(p, p)
+	full := mask.Full(4)
+	if r.Lt != 0 || r.Eq != full {
+		t.Fatalf("Compare(p, p) = %+v", r)
+	}
+	if RelDominates(r, full) {
+		t.Fatal("a point must not dominate itself")
+	}
+	// Overlapping subslices of the same backing array are also fine.
+	r = Compare(p[:3], p[1:])
+	if r.Lt != mask.Full(3) {
+		t.Fatalf("overlapping compare: %+v", r)
+	}
+}

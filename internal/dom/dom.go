@@ -28,9 +28,19 @@ func (r Rel) Leq() mask.Mask { return r.Lt | r.Eq }
 // of both points (the paper's DT cost). The loop is written without
 // branches in the accumulation so compilers can unroll it; on hardware this
 // is the part VSkyline vectorises with SIMD.
+//
+// Contract: p and q must have the same length — comparing points of
+// different dimensionality is always a programming error, and silently
+// truncating to the shorter point would fabricate a Rel claiming equality
+// beyond it, so mismatches panic. Aliasing is fine: Compare(p, p) returns
+// {Lt: 0, Eq: full}, and p and q may overlap arbitrarily since both are
+// only read.
 func Compare(p, q []float32) Rel {
+	if len(p) != len(q) {
+		panic("dom: Compare on points of different dimensionality")
+	}
 	var lt, eq mask.Mask
-	for i := 0; i < len(p) && i < len(q); i++ {
+	for i := 0; i < len(p); i++ {
 		pi, qi := p[i], q[i]
 		var l, e mask.Mask
 		if pi < qi {
@@ -56,11 +66,17 @@ func CompareIn(p, q []float32, delta mask.Mask) Rel {
 	for rem := delta; rem != 0; rem &^= rem & -rem {
 		i := trailingZeros(rem)
 		pi, qi := p[i], q[i]
+		// Same branch-free accumulation shape as Compare: two independent
+		// compares per dimension, no else-chain the compiler must order.
+		var l, e mask.Mask
 		if pi < qi {
-			lt |= 1 << uint(i)
-		} else if pi == qi {
-			eq |= 1 << uint(i)
+			l = 1
 		}
+		if pi == qi {
+			e = 1
+		}
+		lt |= l << uint(i)
+		eq |= e << uint(i)
 	}
 	return Rel{Lt: lt, Eq: eq}
 }

@@ -1,0 +1,97 @@
+// Kernel configuration and counters for the block dominance layer.
+//
+// The block kernels (block.go) are a pure performance layer: every caller
+// keeps a scalar path that is bit-for-bit equivalent, selected either by the
+// global configuration below (ablation) or by input size (sparse tails).
+// The configuration lives here, at the bottom of the import graph, so the
+// skyline algorithms, the MDMC template, the cluster merge and the serving
+// binaries can all consult one switch without new dependencies.
+package dom
+
+import "sync/atomic"
+
+// KernelConfig selects between the block dominance kernels and the scalar
+// reference path. The zero value enables everything.
+type KernelConfig struct {
+	// DisableBlocks forces every filter/refine loop onto the scalar
+	// dom.Compare path (the -no-block-kernel ablation).
+	DisableBlocks bool
+	// DisableStopPoints keeps the block kernels but scans every block,
+	// ignoring the sorted δ-sum stop point (the -no-stop-points ablation).
+	DisableStopPoints bool
+}
+
+var (
+	disableBlocks     atomic.Bool
+	disableStopPoints atomic.Bool
+)
+
+// SetKernelConfig installs the process-wide kernel configuration. Safe for
+// concurrent use; builds in flight may mix modes across points, which is
+// harmless because the modes are result-equivalent.
+func SetKernelConfig(c KernelConfig) {
+	disableBlocks.Store(c.DisableBlocks)
+	disableStopPoints.Store(c.DisableStopPoints)
+}
+
+// Kernels returns the current kernel configuration.
+func Kernels() KernelConfig {
+	return KernelConfig{
+		DisableBlocks:     disableBlocks.Load(),
+		DisableStopPoints: disableStopPoints.Load(),
+	}
+}
+
+// BlocksEnabled reports whether the block kernels are active.
+func BlocksEnabled() bool { return !disableBlocks.Load() }
+
+// StopPointsEnabled reports whether sorted stop-point termination is active.
+func StopPointsEnabled() bool { return !disableStopPoints.Load() }
+
+// KernelCounters is a snapshot of the process-wide kernel activity counters,
+// exported as the skycube_kernel_* metric family.
+type KernelCounters struct {
+	// BlockSweeps counts 64-lane word sweeps executed by the block kernels.
+	BlockSweeps uint64
+	// StopPointExits counts scans terminated early because the next block's
+	// minimum δ-sum proved no later candidate could dominate.
+	StopPointExits uint64
+	// ScalarFallbacks counts filter calls that ran the scalar path while
+	// blocks were enabled (inputs below the block threshold).
+	ScalarFallbacks uint64
+}
+
+var kcSweeps, kcStops, kcFallbacks atomic.Uint64
+
+// KernelStats returns the cumulative counters since process start.
+func KernelStats() KernelCounters {
+	return KernelCounters{
+		BlockSweeps:     kcSweeps.Load(),
+		StopPointExits:  kcStops.Load(),
+		ScalarFallbacks: kcFallbacks.Load(),
+	}
+}
+
+// KernelTally batches kernel counter updates locally so hot loops pay one
+// atomic add per counter per filter call rather than per block sweep.
+type KernelTally struct {
+	Sweeps    uint64
+	StopExits uint64
+	Fallbacks uint64
+}
+
+// Flush adds the tally into the global counters and zeroes it.
+func (t *KernelTally) Flush() {
+	if t.Sweeps != 0 {
+		kcSweeps.Add(t.Sweeps)
+		t.Sweeps = 0
+	}
+	if t.StopExits != 0 {
+		kcStops.Add(t.StopExits)
+		t.StopExits = 0
+	}
+	if t.Fallbacks != 0 {
+		kcFallbacks.Add(t.Fallbacks)
+		t.Fallbacks = 0
+	}
+}

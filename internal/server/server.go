@@ -147,6 +147,9 @@ type Server struct {
 	// nil rcache.Cache computes every request and stores nothing.
 	cache *rcache.Cache
 	cm    *obs.CacheMetrics
+	// km folds the process-wide dominance-kernel counters into the registry
+	// at /metrics scrape time; nil when metrics are off.
+	km *obs.KernelMetrics
 
 	// sampler admits locally-initiated requests into the request ring; nil
 	// (never sampling) unless Options.SampleEvery is positive.
@@ -200,6 +203,7 @@ func NewWith(cube skycube.Skycube, ds *skycube.Dataset, opt Options) *Server {
 		layer = "node"
 	}
 	s.cm = obs.NewCacheMetrics(opt.Metrics, layer)
+	s.km = obs.NewKernelMetrics(opt.Metrics)
 	if !opt.DisableCache {
 		s.cache = rcache.New(opt.CacheEntries, s.cm)
 	}
@@ -564,6 +568,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ks := skycube.KernelStats()
+	s.km.Sync(ks.BlockSweeps, ks.StopPointExits, ks.ScalarFallback)
 	// Exemplars use OpenMetrics syntax that classic text-format parsers
 	// reject, so they are opt-in per scrape.
 	if r.URL.Query().Get("exemplars") == "1" {

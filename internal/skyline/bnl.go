@@ -14,6 +14,12 @@ import (
 // arrival are evicted. It is the correctness reference and the recursion
 // leaf of the pivot algorithm.
 func bnlFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool) []int32 {
+	if dom.BlocksEnabled() {
+		if len(rows) >= blockMinRows && len(mask.Dims(delta)) >= blockMinDims {
+			return bnlBlockFilter(ds, rows, delta, strict)
+		}
+		scalarFallback()
+	}
 	window := make([]int32, 0, 16)
 	for _, p := range rows {
 		pp := ds.Point(int(p))

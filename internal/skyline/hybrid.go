@@ -71,11 +71,19 @@ func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, 
 
 	type group struct {
 		med, quart mask.Mask
-		members    []int32 // indices into rows
+		members    []int32        // indices into rows (scalar path)
+		bs         *data.BlockSet // sum-ordered SoA members (block path)
 	}
 	var groups []group
 	groupIdx := make(map[uint64]int)
 	survivors := make([]int32, 0, n/4)
+
+	// Block path: group members live in small SoA blocks appended in tile
+	// (= ascending δ-sum) order, so one kernel sweep replaces the scalar
+	// member loop of phase A. Both paths test the same membership, so the
+	// phase-A verdicts are identical.
+	useBlocks := dom.BlocksEnabled()
+	useStop := useBlocks && dom.StopPointsEnabled()
 
 	alive := make([]bool, hybridTileSize)
 	var wg sync.WaitGroup
@@ -90,9 +98,14 @@ func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, 
 		// group by group, with label tests before any dominance test.
 		work := func(lo, hi int) {
 			defer wg.Done()
+			var tally dom.KernelTally
+			pq := make([]float32, len(dims))
 			for t := lo; t < hi; t++ {
 				k := tile[t]
 				pp := ds.Point(int(rows[k]))
+				if useBlocks {
+					data.ProjectInto(pq, pp, dims)
+				}
 				mp, qp := medM[k], quartM[k]
 				ok := true
 			groupLoop:
@@ -112,6 +125,13 @@ func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, 
 						ok = false
 						break
 					}
+					if useBlocks {
+						if dom.BlocksAnyDominator(g.bs, pq, sum[k], strict, useStop, &tally) {
+							ok = false
+							break
+						}
+						continue
+					}
 					for _, m := range g.members {
 						r := dom.Compare(ds.Point(int(rows[m])), pp)
 						if kills(r, delta, strict) {
@@ -122,6 +142,7 @@ func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, 
 				}
 				alive[t] = ok
 			}
+			tally.Flush()
 		}
 		tlen := len(tile)
 		tn := threads
@@ -160,8 +181,33 @@ func hybridFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, 
 				groups = append(groups, group{med: medM[k], quart: quartM[k]})
 				groupIdx[key] = gi
 			}
-			groups[gi].members = append(groups[gi].members, k)
+			if !useBlocks {
+				groups[gi].members = append(groups[gi].members, k)
+			}
 			survivors = append(survivors, r)
+		}
+		if useBlocks && len(kept) > 0 {
+			// Block members must be appended in tile order: kept is
+			// row-sorted, but the stop-point invariant needs each group's
+			// lanes in non-decreasing δ-sum order across all tiles.
+			keptSet := make(map[int32]struct{}, len(kept))
+			for _, r := range kept {
+				keptSet[r] = struct{}{}
+			}
+			pq := make([]float32, len(dims))
+			for t := 0; t < tlen; t++ {
+				k := tile[t]
+				r := rows[k]
+				if _, ok := keptSet[r]; !ok {
+					continue
+				}
+				g := &groups[groupIdx[uint64(medM[k])<<32|uint64(quartM[k])]]
+				if g.bs == nil {
+					g.bs = data.NewBlockSet(len(dims), 64)
+				}
+				data.ProjectInto(pq, ds.Point(int(r)), dims)
+				g.bs.Append(pq, r, sum[k])
+			}
 		}
 	}
 

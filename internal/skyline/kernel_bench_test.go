@@ -1,0 +1,63 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"skycube/internal/data"
+	"skycube/internal/dom"
+	"skycube/internal/mask"
+)
+
+// benchFilterDataset builds a correlated-ish uniform dataset large enough
+// that bnlFilter takes the block path (n ≫ blockMinRows).
+func benchFilterDataset(n, d int) (*data.Dataset, []int32, mask.Mask) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float32, n)
+	for i := range rows {
+		p := make([]float32, d)
+		for j := range p {
+			p[j] = rng.Float32()
+		}
+		rows[i] = p
+	}
+	ds := data.FromRows(rows)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return ds, idx, mask.Full(d)
+}
+
+// benchBNL runs the window filter end to end under the given kernel config,
+// restoring the default afterwards.
+func benchBNL(b *testing.B, d int, cfg dom.KernelConfig) {
+	prev := dom.Kernels()
+	dom.SetKernelConfig(cfg)
+	defer dom.SetKernelConfig(prev)
+	ds, idx, delta := benchFilterDataset(4096, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := bnlFilter(ds, idx, delta, false)
+		if len(out) == 0 {
+			b.Fatal("empty skyline")
+		}
+	}
+}
+
+// BenchmarkBNLFilterBlocks is the build-path counterpart of the dom
+// microbenchmarks: the whole BNL window filter with the block kernels (and
+// stop points) on. Widths start at blockMinDims — below it the filter is
+// structurally scalar.
+func BenchmarkBNLFilterBlocks(b *testing.B) {
+	b.Run("d=6", func(b *testing.B) { benchBNL(b, 6, dom.KernelConfig{}) })
+	b.Run("d=8", func(b *testing.B) { benchBNL(b, 8, dom.KernelConfig{}) })
+}
+
+// BenchmarkBNLFilterScalar is the same filter forced onto the scalar
+// per-pair path — the ablation the block speedup is measured against.
+func BenchmarkBNLFilterScalar(b *testing.B) {
+	b.Run("d=6", func(b *testing.B) { benchBNL(b, 6, dom.KernelConfig{DisableBlocks: true}) })
+	b.Run("d=8", func(b *testing.B) { benchBNL(b, 8, dom.KernelConfig{DisableBlocks: true}) })
+}

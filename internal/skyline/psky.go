@@ -64,6 +64,12 @@ func pskyFilter(ds *data.Dataset, rows []int32, delta mask.Mask, strict bool, th
 // internally undominated and dominance is transitive, the skyline of the
 // union is exactly the members of each side not dominated by the other.
 func skyMerge(ds *data.Dataset, a, b []int32, delta mask.Mask, strict bool) []int32 {
+	if dom.BlocksEnabled() {
+		if len(a)+len(b) >= blockMinRows {
+			return skyMergeBlocks(ds, a, b, delta, strict)
+		}
+		scalarFallback()
+	}
 	out := make([]int32, 0, len(a)+len(b))
 	for _, p := range a {
 		if !killedByAny(ds, b, p, delta, strict) {

@@ -41,6 +41,11 @@ type Tree struct {
 	// Data is the leaf-sorted copy of the input. Data.IDs preserve the
 	// original external ids.
 	Data *data.Dataset
+	// Cols is the column-major mirror of Data (Cols[j][i] == Data.Value(i, j)),
+	// the SoA view the block refine kernel (dom.CompareBlock) sweeps: a leaf
+	// range is contiguous in every column, so one query point against a leaf
+	// chunk is d sequential column scans.
+	Cols [][]float32
 	// SrcRow[i] is the input row stored at sorted position i.
 	SrcRow []int32
 	// Med, Quart, Oct hold per-sorted-position path labels: bit j of Med[i]
@@ -150,6 +155,16 @@ func Build(ds *data.Dataset, depth int) *Tree {
 		t.Med[i] = med[r]
 		t.Quart[i] = quart[r]
 		t.Oct[i] = oct[r]
+	}
+
+	t.Cols = make([][]float32, d)
+	colsBuf := make([]float32, n*d)
+	for j := 0; j < d; j++ {
+		cj := colsBuf[j*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			cj[i] = t.Data.Value(i, j)
+		}
+		t.Cols[j] = cj
 	}
 
 	t.buildNodes()

@@ -8,6 +8,7 @@ import (
 
 	"skycube/internal/bitset"
 	"skycube/internal/data"
+	"skycube/internal/dom"
 	"skycube/internal/hashcube"
 	"skycube/internal/mask"
 	"skycube/internal/obs"
@@ -231,6 +232,7 @@ func CPUPointKernel(opt MDMCOptions) PointKernel {
 			k.Refine(p, !opt.DisableMemo)
 			ctx.Cube.Insert(ctx.OrigRow[p], k.NotInS())
 		}
+		k.FlushKernelTally()
 	}
 }
 
@@ -247,7 +249,20 @@ type Solution struct {
 	// when it reaches zero the point's fate is fully decided.
 	remaining int
 	relevant  int // initial value of remaining
+	// relBuf is per-worker scratch for the chunked block refine: one
+	// dom.CompareBlock sweep's worth of relationship masks.
+	relBuf [refineChunk]dom.Rel
+	// tally batches kernel counter updates; FlushKernelTally publishes them.
+	tally dom.KernelTally
 }
+
+// refineChunk is the leaf-chunk width of the block refine path: one verdict
+// word of lanes per CompareBlock sweep.
+const refineChunk = 64
+
+// FlushKernelTally publishes the solution's batched kernel counters. The
+// point-kernel drivers call it once per chunk of point tasks.
+func (k *Solution) FlushKernelTally() { k.tally.Flush() }
 
 // NewSolution allocates task state for one worker of ctx's run.
 func NewSolution(ctx *MDMCContext) *Solution {
@@ -405,6 +420,10 @@ func (k *Solution) RefineInstrumented(p int, memo bool, onLeaf func(skipped bool
 	ds := t.Data
 	pp := ds.Point(p)
 	full := mask.Full(k.ctx.D)
+	// The block path needs exact per-DT accounting off (onDT == nil): a
+	// sweep tests a whole chunk at once, so instrumented callers (the
+	// hardware-counter and GPU-model experiments) keep the scalar loop.
+	blocks := dom.BlocksEnabled() && t.Cols != nil
 	for _, lf := range t.Leaves {
 		if k.remaining == 0 {
 			return
@@ -418,6 +437,12 @@ func (k *Solution) RefineInstrumented(p int, memo bool, onLeaf func(skipped bool
 			onLeaf(skip)
 		}
 		if skip {
+			continue
+		}
+		if blocks && onDT == nil {
+			if k.refineLeafBlocks(t, int(lf.Start), int(lf.End), p, pp, full, memo) {
+				return
+			}
 			continue
 		}
 		for q := int(lf.Start); q < int(lf.End); q++ {
@@ -435,6 +460,34 @@ func (k *Solution) RefineInstrumented(p int, memo bool, onLeaf func(skipped bool
 	}
 }
 
+// refineLeafBlocks applies the leaf range [lo, hi) to the solution through
+// the SoA kernel: dom.CompareBlock computes the relationship masks of up to
+// refineChunk leaf points per sweep over t.Cols, then each lane's masks are
+// folded in with exactly the scalar path's per-point early-exit checks —
+// the bitsets evolve identically to per-point ApplyDT calls. skip, when
+// ≥ 0, is the sorted position of the task point itself (self-DTs convey
+// nothing and the scalar path skips them). Reports whether remaining hit 0.
+func (k *Solution) refineLeafBlocks(t *stree.Tree, lo, hi, skip int, pp []float32, full mask.Mask, memo bool) bool {
+	for ; lo < hi; lo += refineChunk {
+		end := lo + refineChunk
+		if end > hi {
+			end = hi
+		}
+		k.tally.Sweeps++
+		dom.CompareBlock(t.Cols, lo, end, pp, k.relBuf[:end-lo])
+		for i := 0; i < end-lo; i++ {
+			if lo+i == skip {
+				continue
+			}
+			k.ApplyRel(k.relBuf[i], full, memo)
+			if k.remaining == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // RefineExternal is the refine hook for a point outside the tree: exact
 // DTs of the tree's points against coordinates pp, with the same
 // optimistic-mask leaf skipping and seen-mask memoisation as Refine. The
@@ -449,6 +502,9 @@ func (k *Solution) RefineExternal(pp []float32, medP, quartP, octP mask.Mask, me
 	t := k.ctx.Tree
 	ds := t.Data
 	full := mask.Full(k.ctx.D)
+	// The block sweep has no per-lane liveness hook; with deletions pending
+	// (alive != nil) the scalar loop runs instead.
+	blocks := dom.BlocksEnabled() && t.Cols != nil && alive == nil
 	for _, lf := range t.Leaves {
 		if k.remaining == 0 {
 			return
@@ -459,6 +515,12 @@ func (k *Solution) RefineExternal(pp []float32, medP, quartP, octP mask.Mask, me
 		optimistic := full &^ stree.CompositeStrictLabels(
 			medP, quartP, octP, t.Med[s], t.Quart[s], t.Oct[s], t.Depth)
 		if optimistic == 0 || (memo && k.notInSPlus.Test(int(optimistic)-1)) {
+			continue
+		}
+		if blocks {
+			if k.refineLeafBlocks(t, s, int(lf.End), -1, pp, full, memo) {
+				return
+			}
 			continue
 		}
 		for q := s; q < int(lf.End); q++ {
@@ -474,10 +536,7 @@ func (k *Solution) RefineExternal(pp []float32, medP, quartP, octP mask.Mask, me
 }
 
 // ApplyDT performs one exact dominance test of q against p and folds the
-// resulting masks into the solution bitsets:
-//
-//   - every submask of B_{q<p} is strictly dominated;
-//   - every submask δ of B_{q≤p} with at least one strict bit is dominated.
+// resulting masks into the solution bitsets.
 func (k *Solution) ApplyDT(qq, pp []float32, full mask.Mask, memo bool) {
 	var lt, eq mask.Mask
 	for i := range pp {
@@ -487,7 +546,17 @@ func (k *Solution) ApplyDT(qq, pp []float32, full mask.Mask, memo bool) {
 			eq |= 1 << uint(i)
 		}
 	}
-	m := (lt | eq) & full
+	k.ApplyRel(dom.Rel{Lt: lt, Eq: eq}, full, memo)
+}
+
+// ApplyRel folds precomputed relationship masks of one DT (q's relation to
+// p, as produced by dom.Compare/dom.CompareBlock) into the solution bitsets:
+//
+//   - every submask of B_{q<p} is strictly dominated;
+//   - every submask δ of B_{q≤p} with at least one strict bit is dominated.
+func (k *Solution) ApplyRel(r dom.Rel, full mask.Mask, memo bool) {
+	lt := r.Lt
+	m := (lt | r.Eq) & full
 	if m == 0 || lt == 0 {
 		return // q beats p nowhere, or only ties: no dominance anywhere
 	}

@@ -149,6 +149,7 @@ func gate(base []baselineEntry, results map[string]*result, threshold float64) (
 func main() {
 	baseline := flag.String("baseline", "", "baseline JSON file (BENCH_serve.json layout)")
 	threshold := flag.Float64("threshold", 0.30, "relative ns/op regression that fails the gate")
+	optional := flag.Bool("optional", false, "treat a missing baseline file as a pass (per-file opt-in for baselines not yet committed on every branch)")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -156,6 +157,10 @@ func main() {
 	}
 	raw, err := os.ReadFile(*baseline)
 	if err != nil {
+		if *optional && os.IsNotExist(err) {
+			fmt.Printf("benchgate: %s absent, -optional set — skipping gate\n", *baseline)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
